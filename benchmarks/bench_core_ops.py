@@ -1,0 +1,74 @@
+"""Micro/ablation benchmarks for the core algorithmic building blocks.
+
+These complement the per-table/figure benchmarks with the design-choice
+ablations called out in DESIGN.md: oracle cost under fixed versus dynamic
+routing, FPTAS cost versus epsilon, and the online step cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.maxflow import MaxFlow, MaxFlowConfig
+from repro.core.online import OnlineConfig, OnlineMinCongestion
+from repro.overlay.oracle import MinimumOverlayTreeOracle
+from repro.overlay.session import Session
+from repro.routing.dynamic import DynamicRouting
+from repro.routing.ip_routing import FixedIPRouting
+from repro.topology.generators import paper_flat_topology
+
+
+@pytest.fixture(scope="module")
+def network():
+    return paper_flat_topology(num_nodes=80, seed=3)
+
+
+@pytest.fixture(scope="module")
+def session(network):
+    rng = np.random.default_rng(5)
+    members = tuple(int(m) for m in rng.choice(network.num_nodes, 8, replace=False))
+    return Session(members, demand=100.0, name="bench")
+
+
+def test_oracle_fixed_routing(benchmark, network, session):
+    """Ablation: minimum overlay spanning tree cost under fixed IP routing."""
+    benchmark.group = "oracle"
+    oracle = MinimumOverlayTreeOracle(session, FixedIPRouting(network))
+    lengths = np.random.default_rng(0).uniform(0.1, 1.0, network.num_edges)
+    result = benchmark(oracle.minimum_tree, lengths)
+    assert result.tree.size == session.size
+
+
+def test_oracle_dynamic_routing(benchmark, network, session):
+    """Ablation: minimum overlay spanning tree cost under dynamic routing."""
+    benchmark.group = "oracle"
+    oracle = MinimumOverlayTreeOracle(session, DynamicRouting(network))
+    lengths = np.random.default_rng(0).uniform(0.1, 1.0, network.num_edges)
+    result = benchmark(oracle.minimum_tree, lengths)
+    assert result.tree.size == session.size
+
+
+@pytest.mark.parametrize("epsilon", [0.15, 0.075])
+def test_maxflow_epsilon_ablation(run_once, benchmark, network, session, epsilon):
+    """Ablation: MaxFlow oracle-call count scales roughly with 1/epsilon^2."""
+    benchmark.group = "fptas-epsilon"
+    solver = MaxFlow([session], FixedIPRouting(network), MaxFlowConfig(epsilon=epsilon))
+    solution = run_once(solver.solve)
+    assert solution.is_feasible()
+    assert solution.oracle_calls > 0
+
+
+def test_online_acceptance_throughput(benchmark, network, session):
+    """Cost of accepting one session online (oracle + length update)."""
+    benchmark.group = "online"
+    routing = FixedIPRouting(network)
+
+    def accept_batch():
+        solver = OnlineMinCongestion(routing, OnlineConfig(sigma=50.0))
+        for copy in session.replicate(5, demand=1.0):
+            solver.accept(copy)
+        return solver.state.max_congestion
+
+    congestion = benchmark.pedantic(accept_batch, rounds=3, iterations=1)
+    assert congestion > 0

@@ -1,0 +1,93 @@
+"""Benchmarks regenerating Figures 2–11 (flat-topology experiments).
+
+Figures 2–6 use fixed IP routing; Figures 7–11 repeat them under arbitrary
+(dynamic) routing, quantifying the impact of IP routing (paper Section V).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def _check_distribution_figure(result):
+    for session in result.data["sessions"].values():
+        for series in session.values():
+            frac = series["cumulative_fraction"]
+            assert abs(frac[-1] - 1.0) < 1e-9
+            assert all(b >= a - 1e-12 for a, b in zip(frac, frac[1:]))
+
+
+def test_fig2_tree_rate_distribution_maxflow(run_once, benchmark):
+    """Paper Fig. 2: accumulative tree-rate distribution under MaxFlow."""
+    benchmark.group = "figures-flat"
+    _check_distribution_figure(run_once(run_experiment, "fig2", "quick"))
+
+
+def test_fig3_tree_rate_distribution_maxconcurrent(run_once, benchmark):
+    """Paper Fig. 3: accumulative tree-rate distribution under MaxConcurrentFlow."""
+    benchmark.group = "figures-flat"
+    _check_distribution_figure(run_once(run_experiment, "fig3", "quick"))
+
+
+def test_fig4_link_utilization(run_once, benchmark):
+    """Paper Fig. 4: link-utilization distribution for both algorithms."""
+    benchmark.group = "figures-flat"
+    result = run_once(run_experiment, "fig4", "quick")
+    assert result.data["covered_links"] > 0
+    for algorithm in result.data["algorithms"].values():
+        for series in algorithm.values():
+            assert max(series["utilization"], default=0.0) <= 1.0 + 1e-6
+
+
+def test_fig5_limited_tree_throughput(run_once, benchmark):
+    """Paper Fig. 5: Random/Online throughput versus the tree limit."""
+    benchmark.group = "figures-flat"
+    result = run_once(run_experiment, "fig5", "quick")
+    random_tp = result.data["random"]["throughput"]
+    # Diminishing-return growth: the last point is at least the first.
+    assert random_tp[-1] >= random_tp[0]
+    assert result.data["fractional_throughput"] >= max(random_tp) - 1e-6
+
+
+def test_fig6_trees_actually_used(run_once, benchmark):
+    """Paper Fig. 6: number of distinct trees the algorithms actually use."""
+    benchmark.group = "figures-flat"
+    result = run_once(run_experiment, "fig6", "quick")
+    limits = result.data["tree_limits"]
+    for session in result.data["sessions"].values():
+        assert all(used <= limit + 1e-9 for used, limit in zip(session["random"], limits))
+
+
+def test_fig7_tree_rate_distribution_arbitrary(run_once, benchmark):
+    """Paper Fig. 7: Fig. 2 repeated under arbitrary routing."""
+    benchmark.group = "figures-arbitrary"
+    _check_distribution_figure(run_once(run_experiment, "fig7", "quick"))
+
+
+def test_fig8_tree_rate_distribution_mcf_arbitrary(run_once, benchmark):
+    """Paper Fig. 8: Fig. 3 repeated under arbitrary routing."""
+    benchmark.group = "figures-arbitrary"
+    _check_distribution_figure(run_once(run_experiment, "fig8", "quick"))
+
+
+def test_fig9_link_utilization_arbitrary(run_once, benchmark):
+    """Paper Fig. 9: Fig. 4 repeated under arbitrary routing."""
+    benchmark.group = "figures-arbitrary"
+    result = run_once(run_experiment, "fig9", "quick")
+    assert result.data["covered_links"] > 0
+
+
+def test_fig10_limited_tree_throughput_arbitrary(run_once, benchmark):
+    """Paper Fig. 10: Fig. 5 repeated under arbitrary routing."""
+    benchmark.group = "figures-arbitrary"
+    result = run_once(run_experiment, "fig10", "quick")
+    assert len(result.data["random"]["throughput"]) == len(result.data["tree_limits"])
+
+
+def test_fig11_trees_used_arbitrary(run_once, benchmark):
+    """Paper Fig. 11: Fig. 6 repeated under arbitrary routing."""
+    benchmark.group = "figures-arbitrary"
+    result = run_once(run_experiment, "fig11", "quick")
+    assert result.data["sessions"]

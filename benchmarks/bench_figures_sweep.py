@@ -1,0 +1,92 @@
+"""Benchmarks regenerating Figures 12–19 (the Section VI sweep).
+
+The sweep runs MaxFlow, MaxConcurrentFlow and the online algorithm over a
+sessions x session-size grid on a two-level topology; each benchmark
+extracts one of the paper's surfaces/curves and checks its headline shape
+(competition lowers per-session throughput, fairness is cheap, the online
+algorithm approximates the bounds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_fig12_throughput_surface(run_once, benchmark):
+    """Paper Fig. 12: overall throughput surface under MaxFlow."""
+    benchmark.group = "figures-sweep"
+    result = run_once(run_experiment, "fig12", "quick")
+    values = np.asarray(result.data["values"])
+    assert np.all(values > 0)
+    # Larger sessions disseminate to more receivers: throughput grows with
+    # session size for the single-session row.
+    assert values[0, -1] >= values[0, 0]
+
+
+def test_fig13_edges_per_node(run_once, benchmark):
+    """Paper Fig. 13: covered physical edges per overlay node."""
+    benchmark.group = "figures-sweep"
+    result = run_once(run_experiment, "fig13", "quick")
+    values = np.asarray(result.data["values"])
+    assert np.all(values > 0)
+
+
+def test_fig14_utilization_staircase(run_once, benchmark):
+    """Paper Fig. 14: link-utilization staircase at different concurrency levels."""
+    benchmark.group = "figures-sweep"
+    result = run_once(run_experiment, "fig14", "quick")
+    assert result.data["panels"]
+    for panel in result.data["panels"].values():
+        for series in panel.values():
+            assert 0.0 <= series["mean_utilization"] <= 1.0 + 1e-6
+
+
+def test_fig15_minimum_rate_surface(run_once, benchmark):
+    """Paper Fig. 15: minimum session rate surface under MaxConcurrentFlow."""
+    benchmark.group = "figures-sweep"
+    result = run_once(run_experiment, "fig15", "quick")
+    values = np.asarray(result.data["values"])
+    assert np.all(values > 0)
+    # More competing sessions cannot raise the minimum rate.
+    assert values[-1].mean() <= values[0].mean() * 1.05
+
+
+def test_fig16_throughput_ratio_surface(run_once, benchmark):
+    """Paper Fig. 16: MaxConcurrentFlow/MaxFlow throughput ratio."""
+    benchmark.group = "figures-sweep"
+    result = run_once(run_experiment, "fig16", "quick")
+    values = np.asarray(result.data["values"])
+    assert np.all(values <= 1.15)
+    assert np.all(values > 0.3)
+
+
+def test_fig17_asymmetry_vs_session_size(run_once, benchmark):
+    """Paper Fig. 17: asymmetric rate distribution versus session size."""
+    benchmark.group = "figures-sweep"
+    result = run_once(run_experiment, "fig17", "quick")
+    for panel in result.data["panels"].values():
+        shares = [series["top_10pct_share"] for series in panel.values()]
+        assert all(0.0 < s <= 1.0 for s in shares)
+
+
+def test_fig18_online_vs_maxflow(run_once, benchmark):
+    """Paper Fig. 18: online/MaxFlow throughput ratio surfaces."""
+    benchmark.group = "figures-sweep"
+    result = run_once(run_experiment, "fig18", "quick")
+    surfaces = result.data["surfaces"]
+    limits = result.data["tree_limits"]
+    small = np.asarray(surfaces[f"trees_{limits[0]}"]["values"]).mean()
+    large = np.asarray(surfaces[f"trees_{limits[-1]}"]["values"]).mean()
+    # More trees per session can only improve the online approximation.
+    assert large >= small - 0.05
+
+
+def test_fig19_online_vs_maxconcurrent(run_once, benchmark):
+    """Paper Fig. 19: online/MaxConcurrentFlow minimum-rate ratio surfaces."""
+    benchmark.group = "figures-sweep"
+    result = run_once(run_experiment, "fig19", "quick")
+    for surface in result.data["surfaces"].values():
+        values = np.asarray(surface["values"])
+        assert np.all(values >= 0.0)

@@ -1,0 +1,52 @@
+"""Benchmarks regenerating the paper's tables (II, IV, VII, VIII).
+
+Each benchmark runs the corresponding experiment at quick scale and
+sanity-checks the headline invariants the paper reports (throughput
+ordering, fairness, tree counts).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def _column_values(result, key):
+    return [column[key] for column in result.data["columns"].values()]
+
+
+def test_table2_maxflow(run_once, benchmark):
+    """Paper Table II: MaxFlow versus approximation ratio (fixed IP routing)."""
+    benchmark.group = "tables"
+    result = run_once(run_experiment, "table2", "quick")
+    assert all(v > 0 for v in _column_values(result, "overall_throughput"))
+    assert all(v >= 1 for v in _column_values(result, "trees_session_1"))
+
+
+def test_table4_maxconcurrent(run_once, benchmark):
+    """Paper Table IV: MaxConcurrentFlow versus approximation ratio."""
+    benchmark.group = "tables"
+    result = run_once(run_experiment, "table4", "quick")
+    table2 = run_experiment("table2", "quick")
+    # Fairness costs throughput: MaxConcurrentFlow never beats MaxFlow.
+    for ratio, column in result.data["columns"].items():
+        assert (
+            column["overall_throughput"]
+            <= table2.data["columns"][ratio]["overall_throughput"] * 1.05
+        )
+    assert all("prescale_oracle_calls" in c for c in result.data["columns"].values())
+
+
+def test_table7_maxflow_arbitrary_routing(run_once, benchmark):
+    """Paper Table VII: MaxFlow with arbitrary (dynamic) routing."""
+    benchmark.group = "tables"
+    result = run_once(run_experiment, "table7", "quick")
+    assert "throughput_improvement_vs_ip" in result.data
+    assert all(v > -0.15 for v in result.data["throughput_improvement_vs_ip"].values())
+
+
+def test_table8_maxconcurrent_arbitrary_routing(run_once, benchmark):
+    """Paper Table VIII: MaxConcurrentFlow with arbitrary (dynamic) routing."""
+    benchmark.group = "tables"
+    result = run_once(run_experiment, "table8", "quick")
+    assert "throughput_improvement_vs_ip" in result.data
+    assert all(v > 0 for v in _column_values(result, "overall_throughput"))

@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper table/figure at quick scale.  The
+underlying experiment runner caches shared runs within the process (e.g.
+the Section VI sweep feeds Figs 12–19), so the first benchmark touching a
+family pays the solve cost and the rest measure the (cheap) extraction —
+the per-figure wall time is therefore not a solver benchmark but a
+"regenerate this artifact" benchmark, which is what the harness documents.
+
+Benchmarks run exactly once (pedantic, 1 round) to keep the suite's total
+runtime in minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the benchmarked callable exactly once and return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

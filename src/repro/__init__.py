@@ -1,0 +1,109 @@
+"""repro — reproduction of Cui, Li & Nahrstedt (SPAA 2004).
+
+"On Achieving Optimized Capacity Utilization in Application Overlay
+Networks with Multiple Competing Sessions."
+
+The package models multi-tree overlay multicast with multiple competing
+sessions as a multicommodity flow over overlay spanning trees and provides
+
+* the **MaxFlow** and **MaxConcurrentFlow** FPTAS solvers (throughput
+  maximisation and weighted max-min fairness),
+* the **Random-MinCongestion** and **Online-MinCongestion** practical
+  algorithms for the tree-limited (unsplittable) setting,
+* both **fixed IP routing** and **arbitrary dynamic routing** overlay
+  models,
+* the topology, routing, and metrics substrates the paper's evaluation
+  depends on, and
+* an experiment harness that regenerates every table and figure of the
+  paper's evaluation section.
+
+Quickstart
+----------
+>>> from repro import (paper_flat_topology, FixedIPRouting, Session,
+...                    solve_max_flow)
+>>> net = paper_flat_topology(num_nodes=40, seed=7)
+>>> routing = FixedIPRouting(net)
+>>> sessions = [Session((0, 3, 9, 17), demand=100.0)]
+>>> solution = solve_max_flow(sessions, routing, approximation_ratio=0.9)
+>>> solution.overall_throughput > 0
+True
+"""
+
+from repro.topology import (
+    PhysicalNetwork,
+    waxman_topology,
+    barabasi_albert_topology,
+    two_level_topology,
+    paper_flat_topology,
+    paper_two_level_topology,
+    grid_topology,
+    ring_topology,
+    complete_topology,
+)
+from repro.routing import FixedIPRouting, DynamicRouting, UnicastPath
+from repro.overlay import (
+    Session,
+    OverlayTree,
+    MinimumOverlayTreeOracle,
+    random_session,
+    random_sessions,
+)
+from repro.core import (
+    MaxFlow,
+    MaxFlowConfig,
+    MaxConcurrentFlow,
+    MaxConcurrentFlowConfig,
+    OnlineMinCongestion,
+    OnlineConfig,
+    RandomMinCongestion,
+    FlowSolution,
+    SessionResult,
+    TreeFlow,
+    LengthFunction,
+    make_routing,
+    solve_max_flow,
+    solve_max_concurrent_flow,
+    solve_online,
+    solve_randomized_rounding,
+    standalone_session_rates,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PhysicalNetwork",
+    "waxman_topology",
+    "barabasi_albert_topology",
+    "two_level_topology",
+    "paper_flat_topology",
+    "paper_two_level_topology",
+    "grid_topology",
+    "ring_topology",
+    "complete_topology",
+    "FixedIPRouting",
+    "DynamicRouting",
+    "UnicastPath",
+    "Session",
+    "OverlayTree",
+    "MinimumOverlayTreeOracle",
+    "random_session",
+    "random_sessions",
+    "MaxFlow",
+    "MaxFlowConfig",
+    "MaxConcurrentFlow",
+    "MaxConcurrentFlowConfig",
+    "OnlineMinCongestion",
+    "OnlineConfig",
+    "RandomMinCongestion",
+    "FlowSolution",
+    "SessionResult",
+    "TreeFlow",
+    "LengthFunction",
+    "make_routing",
+    "solve_max_flow",
+    "solve_max_concurrent_flow",
+    "solve_online",
+    "solve_randomized_rounding",
+    "standalone_session_rates",
+    "__version__",
+]

@@ -1,0 +1,102 @@
+"""High-level façade over the four algorithms.
+
+Most applications only need: *build a routing model, describe sessions,
+call one of these functions*.  The experiment harness and the examples go
+through this module so that the argument conventions stay in one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.maxconcurrent import MaxConcurrentFlowConfig, MaxConcurrentFlow
+from repro.core.maxflow import MaxFlow, MaxFlowConfig
+from repro.core.online import OnlineConfig, OnlineMinCongestion
+from repro.core.result import FlowSolution
+from repro.core.rounding import RandomMinCongestion, RoundedSelection
+from repro.overlay.session import Session
+from repro.routing.base import RoutingModel
+from repro.routing.dynamic import DynamicRouting
+from repro.routing.ip_routing import FixedIPRouting
+from repro.topology.network import PhysicalNetwork
+from repro.util.errors import ConfigurationError
+from repro.util.rng import SeedLike
+
+
+def make_routing(network: PhysicalNetwork, kind: str = "ip") -> RoutingModel:
+    """Build a routing model by name: ``"ip"`` (fixed) or ``"dynamic"``."""
+    normalized = kind.lower()
+    if normalized in ("ip", "fixed", "fixed-ip", "static"):
+        return FixedIPRouting(network)
+    if normalized in ("dynamic", "arbitrary"):
+        return DynamicRouting(network)
+    raise ConfigurationError(f"unknown routing kind {kind!r}; use 'ip' or 'dynamic'")
+
+
+def solve_max_flow(
+    sessions: Sequence[Session],
+    routing: RoutingModel,
+    approximation_ratio: float = 0.95,
+    epsilon: Optional[float] = None,
+) -> FlowSolution:
+    """Solve the overlay maximum flow problem (paper M1 / Table I)."""
+    config = MaxFlowConfig(
+        epsilon=epsilon,
+        approximation_ratio=None if epsilon is not None else approximation_ratio,
+    )
+    return MaxFlow(sessions, routing, config).solve()
+
+
+def solve_max_concurrent_flow(
+    sessions: Sequence[Session],
+    routing: RoutingModel,
+    approximation_ratio: float = 0.95,
+    epsilon: Optional[float] = None,
+    prescale_epsilon: float = 0.1,
+) -> FlowSolution:
+    """Solve the overlay maximum concurrent flow problem (paper M2 / Table III)."""
+    config = MaxConcurrentFlowConfig(
+        epsilon=epsilon,
+        approximation_ratio=None if epsilon is not None else approximation_ratio,
+        prescale_epsilon=prescale_epsilon,
+    )
+    return MaxConcurrentFlow(sessions, routing, config).solve()
+
+
+def solve_online(
+    sessions: Sequence[Session],
+    routing: RoutingModel,
+    sigma: float = 10.0,
+    group_by_members: bool = True,
+) -> FlowSolution:
+    """Route sessions online, one tree each, in arrival order (paper Table VI)."""
+    solver = OnlineMinCongestion(routing, OnlineConfig(sigma=sigma))
+    solver.accept_all(sessions)
+    return solver.solution(group_by_members=group_by_members)
+
+
+def solve_randomized_rounding(
+    fractional: FlowSolution,
+    max_trees: int = 1,
+    seed: SeedLike = None,
+) -> RoundedSelection:
+    """Randomized rounding of a fractional solution (paper Table V)."""
+    return RandomMinCongestion(fractional, seed=seed).select_trees(max_trees)
+
+
+def standalone_session_rates(
+    sessions: Sequence[Session],
+    routing: RoutingModel,
+    epsilon: float = 0.1,
+) -> List[float]:
+    """Maximum rate of each session when it has the network to itself.
+
+    This is the quantity ``beta_i`` used to bound the concurrent-flow
+    optimum; exposed because experiments also report it as the
+    "single-session" baseline (Fig. 12 with one session).
+    """
+    rates = []
+    for session in sessions:
+        solution = MaxFlow([session], routing, MaxFlowConfig(epsilon=epsilon)).solve()
+        rates.append(solution.sessions[0].rate)
+    return rates

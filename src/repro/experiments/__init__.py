@@ -1,0 +1,94 @@
+"""Experiment harness: one entry per table/figure of the paper's evaluation.
+
+Every experiment is exposed as a function taking a scale (``"quick"`` for
+seconds-scale runs used by the benchmark suite and CI, ``"paper"`` for the
+full-size reproduction) and returning an
+:class:`~repro.experiments.report.ExperimentResult` whose ``data`` field
+holds the series/rows of the corresponding table or figure and whose
+``rendered`` field is a printable report.
+
+Use :func:`run_experiment` / :data:`EXPERIMENTS` to drive them by id
+(``"table2"``, ``"fig5"``, ...).
+"""
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.settings import (
+    FlatSetting,
+    SweepSetting,
+    LimitedTreeSetting,
+    quick_flat_setting,
+    paper_flat_setting,
+    quick_sweep_setting,
+    paper_sweep_setting,
+)
+from repro.experiments.section3 import table2, table4, fig2, fig3, fig4
+from repro.experiments.section4 import fig5, fig6
+from repro.experiments.section5 import (
+    table7,
+    table8,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+)
+from repro.experiments.section6 import (
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+)
+
+EXPERIMENTS = {
+    "table2": table2,
+    "table4": table4,
+    "table7": table7,
+    "table8": table8,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+    "fig18": fig18,
+    "fig19": fig19,
+}
+
+
+def run_experiment(experiment_id: str, scale: str = "quick") -> ExperimentResult:
+    """Run a paper experiment by its id (``"table2"``, ``"fig12"``, ...)."""
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from exc
+    return fn(scale=scale)
+
+
+__all__ = [
+    "ExperimentResult",
+    "FlatSetting",
+    "SweepSetting",
+    "LimitedTreeSetting",
+    "quick_flat_setting",
+    "paper_flat_setting",
+    "quick_sweep_setting",
+    "paper_sweep_setting",
+    "EXPERIMENTS",
+    "run_experiment",
+] + sorted(EXPERIMENTS)

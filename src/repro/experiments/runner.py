@@ -1,0 +1,334 @@
+"""Shared experiment execution with in-process caching.
+
+Several figures are different views of the same underlying runs (e.g.
+Table II, Fig 2 and Fig 4 all read the MaxFlow ratio sweep; Figs 12–19
+all read the Section VI sweep).  This module performs those runs once per
+process and caches the results, keyed by scale / routing kind / algorithm,
+so that generating every figure does not re-solve identical instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.maxconcurrent import MaxConcurrentFlow, MaxConcurrentFlowConfig
+from repro.core.maxflow import MaxFlow, MaxFlowConfig
+from repro.core.online import OnlineConfig, OnlineMinCongestion
+from repro.core.result import FlowSolution
+from repro.core.rounding import RandomMinCongestion
+from repro.experiments.settings import (
+    FlatSetting,
+    LimitedTreeSetting,
+    SweepSetting,
+    flat_setting_for_scale,
+    limited_tree_setting_for_scale,
+    sweep_setting_for_scale,
+)
+from repro.overlay.session import Session
+from repro.routing.base import RoutingModel
+from repro.topology.network import PhysicalNetwork
+from repro.util.errors import ConfigurationError
+from repro.util.rng import ensure_rng, spawn_rngs
+
+# ----------------------------------------------------------------------
+# flat (Sections III–V) runs
+# ----------------------------------------------------------------------
+@dataclass
+class FlatInstance:
+    """A concrete flat-setting problem instance (network + sessions + routing)."""
+
+    setting: FlatSetting
+    network: PhysicalNetwork
+    sessions: List[Session]
+    routing: RoutingModel
+    routing_kind: str
+
+
+_FLAT_INSTANCES: Dict[Tuple[str, str], FlatInstance] = {}
+_FLAT_SWEEPS: Dict[Tuple[str, str, str], Dict[float, FlowSolution]] = {}
+_LIMITED_TREE_STUDIES: Dict[Tuple[str, str], "LimitedTreeStudy"] = {}
+
+
+def clear_caches() -> None:
+    """Drop every cached run (used by tests that need fresh instances)."""
+    _FLAT_INSTANCES.clear()
+    _FLAT_SWEEPS.clear()
+    _LIMITED_TREE_STUDIES.clear()
+    _SWEEP_INSTANCES.clear()
+    _SWEEP_RUNS.clear()
+    _ONLINE_SWEEP_RUNS.clear()
+
+
+def flat_instance(scale: str, routing_kind: str = "ip") -> FlatInstance:
+    """The (cached) flat-setting instance for a scale and routing kind."""
+    key = (scale, routing_kind)
+    if key not in _FLAT_INSTANCES:
+        setting = flat_setting_for_scale(scale)
+        network = setting.build_network()
+        sessions = setting.build_sessions(network)
+        routing = setting.build_routing(network, routing_kind)
+        _FLAT_INSTANCES[key] = FlatInstance(
+            setting=setting,
+            network=network,
+            sessions=sessions,
+            routing=routing,
+            routing_kind=routing_kind,
+        )
+    return _FLAT_INSTANCES[key]
+
+
+def flat_ratio_sweep(
+    scale: str, routing_kind: str, algorithm: str
+) -> Dict[float, FlowSolution]:
+    """Solve the flat instance for every approximation ratio of the setting.
+
+    ``algorithm`` is ``"maxflow"`` or ``"maxconcurrent"``.  Results are
+    cached per (scale, routing kind, algorithm).
+    """
+    if algorithm not in ("maxflow", "maxconcurrent"):
+        raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+    key = (scale, routing_kind, algorithm)
+    if key not in _FLAT_SWEEPS:
+        instance = flat_instance(scale, routing_kind)
+        setting = instance.setting
+        solutions: Dict[float, FlowSolution] = {}
+        for ratio in setting.ratios:
+            if algorithm == "maxflow":
+                solver = MaxFlow(
+                    instance.sessions,
+                    instance.routing,
+                    MaxFlowConfig(approximation_ratio=ratio),
+                )
+            else:
+                solver = MaxConcurrentFlow(
+                    instance.sessions,
+                    instance.routing,
+                    MaxConcurrentFlowConfig(
+                        approximation_ratio=ratio,
+                        prescale_epsilon=setting.prescale_epsilon,
+                    ),
+                )
+            solutions[ratio] = solver.solve()
+        _FLAT_SWEEPS[key] = solutions
+    return _FLAT_SWEEPS[key]
+
+
+# ----------------------------------------------------------------------
+# limited-tree (Section IV / Figs 5-6, 10-11) studies
+# ----------------------------------------------------------------------
+@dataclass
+class LimitedTreePoint:
+    """Measurements at one tree-limit value."""
+
+    tree_limit: int
+    random_throughput: float
+    random_min_rate: float
+    random_session_rates: List[float]
+    random_trees_used: List[float]
+    online_throughput: Dict[float, float]
+    online_min_rate: Dict[float, float]
+    online_session_rates: Dict[float, List[float]]
+    online_trees_used: Dict[float, List[float]]
+
+
+@dataclass
+class LimitedTreeStudy:
+    """Full output of the limited-tree experiment (one per routing kind)."""
+
+    setting: LimitedTreeSetting
+    fractional: FlowSolution
+    points: List[LimitedTreePoint]
+
+    def series(self, field: str, sigma: Optional[float] = None) -> List[float]:
+        """Extract a per-tree-limit series by field name (for figures)."""
+        out = []
+        for p in self.points:
+            value = getattr(p, field)
+            if isinstance(value, dict):
+                if sigma is None:
+                    raise ConfigurationError(f"field {field!r} needs a sigma")
+                value = value[sigma]
+            out.append(value)
+        return out
+
+
+def limited_tree_study(scale: str, routing_kind: str = "ip") -> LimitedTreeStudy:
+    """Run (or fetch) the Random/Online versus tree-limit study."""
+    key = (scale, routing_kind)
+    if key in _LIMITED_TREE_STUDIES:
+        return _LIMITED_TREE_STUDIES[key]
+
+    instance = flat_instance(scale, routing_kind)
+    setting = limited_tree_setting_for_scale(scale)
+
+    fractional = MaxConcurrentFlow(
+        instance.sessions,
+        instance.routing,
+        MaxConcurrentFlowConfig(
+            approximation_ratio=setting.fractional_ratio,
+            prescale_epsilon=instance.setting.prescale_epsilon,
+        ),
+    ).solve()
+
+    rounding = RandomMinCongestion(fractional, seed=setting.seed)
+    points: List[LimitedTreePoint] = []
+    num_sessions = len(instance.sessions)
+
+    for limit in setting.tree_limits:
+        # Randomized rounding, averaged over trials.
+        random_stats = rounding.average_over_trials(
+            limit, setting.rounding_trials, seed=setting.seed + limit
+        )
+        random_rates = [
+            random_stats[f"mean_rate_session_{i + 1}"] for i in range(num_sessions)
+        ]
+        random_trees = [
+            random_stats[f"mean_trees_session_{i + 1}"] for i in range(num_sessions)
+        ]
+
+        # Online algorithm: replicate each session `limit` times, average
+        # over random arrival orderings, per sigma.
+        online_throughput: Dict[float, float] = {}
+        online_min_rate: Dict[float, float] = {}
+        online_rates: Dict[float, List[float]] = {}
+        online_trees: Dict[float, List[float]] = {}
+        for sigma in setting.sigmas:
+            rngs = spawn_rngs(setting.seed + limit, setting.online_orderings)
+            throughputs = []
+            min_rates = []
+            rates_acc = np.zeros(num_sessions)
+            trees_acc = np.zeros(num_sessions)
+            for rng in rngs:
+                arrivals: List[Session] = []
+                for session in instance.sessions:
+                    arrivals.extend(session.replicate(limit, demand=1.0))
+                order = rng.permutation(len(arrivals))
+                ordered = [arrivals[i] for i in order]
+                solver = OnlineMinCongestion(
+                    instance.routing, OnlineConfig(sigma=sigma)
+                )
+                solver.accept_all(ordered)
+                solution = solver.solution(group_by_members=True)
+                throughputs.append(solution.overall_throughput)
+                min_rates.append(solution.min_rate)
+                # Align grouped results back to the original session order.
+                by_members = {
+                    tuple(sorted(s.session.members)): s for s in solution.sessions
+                }
+                for index, session in enumerate(instance.sessions):
+                    grouped = by_members[tuple(sorted(session.members))]
+                    rates_acc[index] += grouped.rate
+                    trees_acc[index] += grouped.num_trees
+            count = float(len(rngs))
+            online_throughput[sigma] = float(np.mean(throughputs))
+            online_min_rate[sigma] = float(np.mean(min_rates))
+            online_rates[sigma] = list(rates_acc / count)
+            online_trees[sigma] = list(trees_acc / count)
+
+        points.append(
+            LimitedTreePoint(
+                tree_limit=limit,
+                random_throughput=random_stats["mean_throughput"],
+                random_min_rate=random_stats["mean_min_rate"],
+                random_session_rates=random_rates,
+                random_trees_used=random_trees,
+                online_throughput=online_throughput,
+                online_min_rate=online_min_rate,
+                online_session_rates=online_rates,
+                online_trees_used=online_trees,
+            )
+        )
+
+    study = LimitedTreeStudy(setting=setting, fractional=fractional, points=points)
+    _LIMITED_TREE_STUDIES[key] = study
+    return study
+
+
+# ----------------------------------------------------------------------
+# Section VI sweep runs
+# ----------------------------------------------------------------------
+@dataclass
+class SweepInstance:
+    """The Section VI network plus per-grid-point session sets."""
+
+    setting: SweepSetting
+    network: PhysicalNetwork
+    routing: RoutingModel
+    sessions: Dict[Tuple[int, int], List[Session]]
+
+
+_SWEEP_INSTANCES: Dict[str, SweepInstance] = {}
+_SWEEP_RUNS: Dict[Tuple[str, str], Dict[Tuple[int, int], FlowSolution]] = {}
+_ONLINE_SWEEP_RUNS: Dict[Tuple[str, int], Dict[Tuple[int, int], FlowSolution]] = {}
+
+
+def sweep_instance(scale: str) -> SweepInstance:
+    """The (cached) Section VI instance for a scale."""
+    if scale not in _SWEEP_INSTANCES:
+        setting = sweep_setting_for_scale(scale)
+        network = setting.build_network()
+        routing = setting.build_routing(network, "ip")
+        sessions: Dict[Tuple[int, int], List[Session]] = {}
+        for count in setting.session_counts:
+            for size in setting.session_sizes:
+                sessions[(count, size)] = setting.build_sessions(network, count, size)
+        _SWEEP_INSTANCES[scale] = SweepInstance(
+            setting=setting, network=network, routing=routing, sessions=sessions
+        )
+    return _SWEEP_INSTANCES[scale]
+
+
+def sweep_runs(scale: str, algorithm: str) -> Dict[Tuple[int, int], FlowSolution]:
+    """MaxFlow or MaxConcurrentFlow over the whole (sessions x size) grid."""
+    if algorithm not in ("maxflow", "maxconcurrent"):
+        raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+    key = (scale, algorithm)
+    if key not in _SWEEP_RUNS:
+        instance = sweep_instance(scale)
+        setting = instance.setting
+        runs: Dict[Tuple[int, int], FlowSolution] = {}
+        for grid_point, sessions in instance.sessions.items():
+            if algorithm == "maxflow":
+                solver = MaxFlow(
+                    sessions,
+                    instance.routing,
+                    MaxFlowConfig(approximation_ratio=setting.ratio),
+                )
+            else:
+                solver = MaxConcurrentFlow(
+                    sessions,
+                    instance.routing,
+                    MaxConcurrentFlowConfig(
+                        approximation_ratio=setting.ratio,
+                        prescale_epsilon=setting.prescale_epsilon,
+                    ),
+                )
+            runs[grid_point] = solver.solve()
+        _SWEEP_RUNS[key] = runs
+    return _SWEEP_RUNS[key]
+
+
+def online_sweep_runs(scale: str, tree_limit: int) -> Dict[Tuple[int, int], FlowSolution]:
+    """Online algorithm over the grid with each session replicated ``tree_limit`` times."""
+    key = (scale, tree_limit)
+    if key not in _ONLINE_SWEEP_RUNS:
+        instance = sweep_instance(scale)
+        setting = instance.setting
+        runs: Dict[Tuple[int, int], FlowSolution] = {}
+        for grid_point, sessions in instance.sessions.items():
+            rng = ensure_rng(setting.seed + grid_point[0] * 37 + grid_point[1])
+            arrivals: List[Session] = []
+            for session in sessions:
+                arrivals.extend(session.replicate(tree_limit, demand=setting.demand))
+            order = rng.permutation(len(arrivals))
+            ordered = [arrivals[i] for i in order]
+            solver = OnlineMinCongestion(
+                instance.routing, OnlineConfig(sigma=setting.online_sigma)
+            )
+            solver.accept_all(ordered)
+            runs[grid_point] = solver.solution(group_by_members=True)
+        _ONLINE_SWEEP_RUNS[key] = runs
+    return _ONLINE_SWEEP_RUNS[key]

@@ -1,0 +1,203 @@
+"""Section III experiments: Tables II & IV and Figures 2–4 (fixed IP routing).
+
+The setting is the flat Waxman topology with two competing sessions; the
+MaxFlow and MaxConcurrentFlow FPTAS are run over a sweep of approximation
+ratios and the paper's table rows / figure series are extracted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import flat_instance, flat_ratio_sweep
+from repro.experiments.settings import flat_setting_for_scale
+from repro.metrics.distribution import tree_rate_distribution
+from repro.metrics.summary import solutions_to_table
+from repro.metrics.utilization import (
+    covered_edges_for_sessions,
+    link_utilization_series,
+    utilization_staircase,
+)
+
+
+def _ratio_table_data(scale: str, routing_kind: str, algorithm: str) -> Dict:
+    solutions = flat_ratio_sweep(scale, routing_kind, algorithm)
+    instance = flat_instance(scale, routing_kind)
+    data: Dict[str, Dict] = {"ratios": sorted(solutions), "columns": {}}
+    for ratio in sorted(solutions):
+        solution = solutions[ratio]
+        column: Dict[str, float] = {
+            "overall_throughput": solution.overall_throughput,
+            "oracle_calls": float(solution.oracle_calls),
+        }
+        for index, session_result in enumerate(solution.sessions):
+            column[f"rate_session_{index + 1}"] = session_result.rate
+            column[f"trees_session_{index + 1}"] = float(session_result.num_trees)
+        if "prescale_oracle_calls" in solution.extra:
+            column["main_oracle_calls"] = float(solution.extra["main_oracle_calls"])
+            column["prescale_oracle_calls"] = float(
+                solution.extra["prescale_oracle_calls"]
+            )
+        data["columns"][f"{ratio:g}"] = column
+    data["session_sizes"] = [s.size for s in instance.sessions]
+    data["demand"] = instance.setting.demand
+    data["num_nodes"] = instance.network.num_nodes
+    data["num_edges"] = instance.network.num_edges
+    return data
+
+
+def _notes(scale: str) -> str:
+    setting = flat_setting_for_scale(scale)
+    if scale == "paper":
+        return (
+            "Paper scale: 100-node Waxman, capacity 100, sessions of "
+            f"{setting.session_sizes} members, demand {setting.demand}; ratio grid "
+            f"{setting.ratios} (0.98/0.99 omitted: multi-hour pure-Python runs)."
+        )
+    return (
+        f"Quick scale: {setting.num_nodes}-node Waxman, sessions of "
+        f"{setting.session_sizes} members, ratios {setting.ratios}."
+    )
+
+
+# ----------------------------------------------------------------------
+# Table II — MaxFlow vs approximation ratio
+# ----------------------------------------------------------------------
+def table2(scale: str = "quick", routing_kind: str = "ip") -> ExperimentResult:
+    """Paper Table II: MaxFlow rates/throughput/trees/MST-ops per ratio."""
+    solutions = flat_ratio_sweep(scale, routing_kind, "maxflow")
+    data = _ratio_table_data(scale, routing_kind, "maxflow")
+    rendered = solutions_to_table(
+        solutions, title="Table II — MaxFlow (fixed IP routing)"
+    )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Experiment result of MaxFlow",
+        scale=scale,
+        data=data,
+        rendered=rendered,
+        notes=_notes(scale),
+    )
+
+
+# ----------------------------------------------------------------------
+# Table IV — MaxConcurrentFlow vs approximation ratio
+# ----------------------------------------------------------------------
+def table4(scale: str = "quick", routing_kind: str = "ip") -> ExperimentResult:
+    """Paper Table IV: MaxConcurrentFlow rates/throughput/trees/MST-ops per ratio."""
+    solutions = flat_ratio_sweep(scale, routing_kind, "maxconcurrent")
+    data = _ratio_table_data(scale, routing_kind, "maxconcurrent")
+    rendered = solutions_to_table(
+        solutions, title="Table IV — MaxConcurrentFlow (fixed IP routing)"
+    )
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Experiment results of MaxConcurrentFlow",
+        scale=scale,
+        data=data,
+        rendered=rendered,
+        notes=_notes(scale),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 2 & 3 — accumulative tree-rate distributions
+# ----------------------------------------------------------------------
+def _tree_rate_figure(
+    experiment_id: str, title: str, scale: str, routing_kind: str, algorithm: str
+) -> ExperimentResult:
+    solutions = flat_ratio_sweep(scale, routing_kind, algorithm)
+    data: Dict[str, Dict] = {"sessions": {}}
+    lines: List[str] = []
+    num_sessions = len(next(iter(solutions.values())).sessions)
+    for session_index in range(num_sessions):
+        per_ratio = {}
+        for ratio, solution in sorted(solutions.items()):
+            ranks, fractions = tree_rate_distribution(solution.sessions[session_index])
+            per_ratio[f"{ratio:g}"] = {
+                "normalized_rank": list(ranks),
+                "cumulative_fraction": list(fractions),
+            }
+            # Report the paper's headline statistic: share of rate in the
+            # top 10% of trees.
+            if fractions.size:
+                top10 = fractions[max(0, int(0.1 * fractions.size) - 1)]
+                lines.append(
+                    f"session {session_index + 1} ratio {ratio:g}: "
+                    f"top-10% trees carry {top10:.2%} of the rate "
+                    f"({fractions.size} trees)"
+                )
+        data["sessions"][f"session_{session_index + 1}"] = per_ratio
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        scale=scale,
+        data=data,
+        rendered="\n".join(lines),
+        notes=_notes(scale),
+    )
+
+
+def fig2(scale: str = "quick", routing_kind: str = "ip") -> ExperimentResult:
+    """Paper Fig. 2: overlay tree rate distribution under MaxFlow."""
+    return _tree_rate_figure(
+        "fig2", "Overlay Tree Rate Distribution (MaxFlow)", scale, routing_kind, "maxflow"
+    )
+
+
+def fig3(scale: str = "quick", routing_kind: str = "ip") -> ExperimentResult:
+    """Paper Fig. 3: overlay tree rate distribution under MaxConcurrentFlow."""
+    return _tree_rate_figure(
+        "fig3",
+        "Overlay Tree Rate Distribution (MaxConcurrentFlow)",
+        scale,
+        routing_kind,
+        "maxconcurrent",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — link utilization
+# ----------------------------------------------------------------------
+def fig4(scale: str = "quick", routing_kind: str = "ip") -> ExperimentResult:
+    """Paper Fig. 4: link-utilization distribution for MaxFlow and MaxConcurrentFlow."""
+    instance = flat_instance(scale, routing_kind)
+    covered = covered_edges_for_sessions(instance.network, instance.sessions)
+    data: Dict[str, Dict] = {"covered_links": int(covered.size), "algorithms": {}}
+    lines = [f"physical links covered by the sessions' unicast paths: {covered.size}"]
+    for algorithm, label in (("maxflow", "MaxFlow"), ("maxconcurrent", "MaxConcurrentFlow")):
+        solutions = flat_ratio_sweep(scale, routing_kind, algorithm)
+        per_ratio = {}
+        for ratio, solution in sorted(solutions.items()):
+            ranks, utilization = link_utilization_series(solution, covered)
+            staircase = utilization_staircase(solution, covered)
+            per_ratio[f"{ratio:g}"] = {
+                "normalized_rank": list(ranks),
+                "utilization": list(utilization),
+                "staircase": staircase,
+            }
+            lines.append(
+                f"{label} ratio {ratio:g}: mean utilization "
+                f"{float(utilization.mean()) if utilization.size else 0.0:.3f}, "
+                f"{len(staircase)} distinct congestion levels"
+            )
+        data["algorithms"][label] = per_ratio
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Link Utilization",
+        scale=scale,
+        data=data,
+        rendered="\n".join(lines),
+        notes=_notes(scale),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    for result in (table2(), table4(), fig2(), fig3(), fig4()):
+        print(result)
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

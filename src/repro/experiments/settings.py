@@ -1,0 +1,271 @@
+"""Experiment settings at quick and paper scales.
+
+Two experiment families appear in the paper:
+
+* the **flat setting** of Sections III–V: a 100-node Waxman topology with
+  uniform capacity 100 carrying two sessions of 7 and 5 members (demand
+  100 each), solved for a sweep of approximation ratios;
+* the **sweep setting** of Section VI: a two-level 10 AS x 100 router
+  topology carrying ``n = 1..9`` sessions of average size 10..90 with
+  unit demands.
+
+"Quick" scale shrinks the topology, session sizes and ratio grids so that
+every experiment finishes in seconds (suitable for the test and benchmark
+suites); "paper" scale uses the paper's parameters.  Every reduction is
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.overlay.session import Session, random_session
+from repro.routing.base import RoutingModel
+from repro.routing.dynamic import DynamicRouting
+from repro.routing.ip_routing import FixedIPRouting
+from repro.topology.generators import paper_flat_topology, paper_two_level_topology
+from repro.topology.network import PhysicalNetwork
+from repro.util.errors import ConfigurationError
+from repro.util.rng import ensure_rng
+
+DEFAULT_SEED = 2004
+
+
+def _routing_for(network: PhysicalNetwork, kind: str) -> RoutingModel:
+    if kind == "ip":
+        return FixedIPRouting(network)
+    if kind == "dynamic":
+        return DynamicRouting(network)
+    raise ConfigurationError(f"unknown routing kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class FlatSetting:
+    """The two-session flat-Waxman setting of Sections III–V.
+
+    Attributes mirror the paper's experiment description; the session
+    member sets are drawn from the topology with the given seed so that
+    every experiment (and the IP-routing versus arbitrary-routing
+    comparison) sees the same instance.
+    """
+
+    num_nodes: int = 100
+    capacity: float = 100.0
+    session_sizes: Tuple[int, ...] = (7, 5)
+    demand: float = 100.0
+    ratios: Tuple[float, ...] = (0.90, 0.92, 0.95)
+    prescale_epsilon: float = 0.1
+    seed: int = DEFAULT_SEED
+
+    def build_network(self) -> PhysicalNetwork:
+        """The Waxman topology of this setting."""
+        return paper_flat_topology(
+            num_nodes=self.num_nodes, capacity=self.capacity, seed=self.seed
+        )
+
+    def build_sessions(self, network: PhysicalNetwork) -> List[Session]:
+        """The competing sessions of this setting (deterministic for the seed)."""
+        rng = ensure_rng(self.seed + 1)
+        return [
+            random_session(
+                network,
+                size,
+                demand=self.demand,
+                seed=rng,
+                name=f"session-{index + 1}",
+            )
+            for index, size in enumerate(self.session_sizes)
+        ]
+
+    def build_routing(self, network: PhysicalNetwork, kind: str = "ip") -> RoutingModel:
+        """Routing model of the requested kind over ``network``."""
+        return _routing_for(network, kind)
+
+
+@dataclass(frozen=True)
+class LimitedTreeSetting:
+    """Parameters of the limited-tree experiments (Figs 5/6 and 10/11)."""
+
+    tree_limits: Tuple[int, ...] = (1, 2, 4, 8, 12, 16, 20)
+    sigmas: Tuple[float, ...] = (10.0, 30.0, 100.0)
+    rounding_trials: int = 20
+    online_orderings: int = 10
+    fractional_ratio: float = 0.95
+    seed: int = DEFAULT_SEED
+
+
+@dataclass(frozen=True)
+class SweepSetting:
+    """The Section VI sweep: sessions x average session size grid."""
+
+    num_ases: int = 10
+    routers_per_as: int = 100
+    capacity: float = 100.0
+    session_counts: Tuple[int, ...] = (1, 3, 5, 7, 9)
+    session_sizes: Tuple[int, ...] = (10, 30, 50, 70, 90)
+    demand: float = 1.0
+    ratio: float = 0.95
+    prescale_epsilon: float = 0.1
+    online_sigma: float = 10.0
+    online_tree_limits: Tuple[int, ...] = (5, 60)
+    seed: int = DEFAULT_SEED
+
+    def build_network(self) -> PhysicalNetwork:
+        """The two-level AS/router topology of this setting."""
+        return paper_two_level_topology(
+            num_ases=self.num_ases,
+            routers_per_as=self.routers_per_as,
+            capacity=self.capacity,
+            seed=self.seed,
+        )
+
+    def build_sessions(
+        self, network: PhysicalNetwork, count: int, size: int
+    ) -> List[Session]:
+        """``count`` random sessions of ``size`` members each."""
+        rng = ensure_rng(self.seed + count * 1000 + size)
+        return [
+            random_session(
+                network, size, demand=self.demand, seed=rng, name=f"session-{i + 1}"
+            )
+            for i in range(count)
+        ]
+
+    def build_routing(self, network: PhysicalNetwork, kind: str = "ip") -> RoutingModel:
+        """Routing model of the requested kind over ``network``."""
+        return _routing_for(network, kind)
+
+
+# ----------------------------------------------------------------------
+# scale presets
+# ----------------------------------------------------------------------
+def paper_flat_setting() -> FlatSetting:
+    """The paper's Sections III–V setting (100 nodes, sessions of 7 and 5).
+
+    The ratio grid stops at 0.97: the 0.98/0.99 columns of the paper's
+    tables need hundreds of thousands of MST operations, which is a
+    multi-hour pure-Python run; the trend is already visible at 0.97.
+    """
+    return FlatSetting(
+        num_nodes=100,
+        session_sizes=(7, 5),
+        ratios=(0.90, 0.91, 0.92, 0.93, 0.94, 0.95, 0.96, 0.97),
+    )
+
+
+def quick_flat_setting() -> FlatSetting:
+    """Seconds-scale version of the flat setting (benchmarks, CI)."""
+    return FlatSetting(
+        num_nodes=48,
+        session_sizes=(6, 4),
+        ratios=(0.85, 0.90),
+        prescale_epsilon=0.15,
+    )
+
+
+def tiny_flat_setting() -> FlatSetting:
+    """Sub-second flat setting used by the unit/integration test suite."""
+    return FlatSetting(
+        num_nodes=30,
+        session_sizes=(4, 3),
+        ratios=(0.80,),
+        prescale_epsilon=0.2,
+    )
+
+
+def quick_limited_tree_setting() -> LimitedTreeSetting:
+    """Seconds-scale limited-tree setting."""
+    return LimitedTreeSetting(
+        tree_limits=(1, 2, 4, 8, 12),
+        sigmas=(10.0, 100.0),
+        rounding_trials=10,
+        online_orderings=5,
+        fractional_ratio=0.88,
+    )
+
+
+def tiny_limited_tree_setting() -> LimitedTreeSetting:
+    """Sub-second limited-tree setting used by the test suite."""
+    return LimitedTreeSetting(
+        tree_limits=(1, 2, 3),
+        sigmas=(10.0,),
+        rounding_trials=3,
+        online_orderings=2,
+        fractional_ratio=0.80,
+    )
+
+
+def paper_limited_tree_setting() -> LimitedTreeSetting:
+    """The paper's limited-tree setting (tree limits 1..20, 100 trials)."""
+    return LimitedTreeSetting(
+        tree_limits=tuple(range(1, 21)),
+        sigmas=(10.0, 20.0, 30.0, 40.0, 100.0, 200.0),
+        rounding_trials=100,
+        online_orderings=100,
+        fractional_ratio=0.95,
+    )
+
+
+def quick_sweep_setting() -> SweepSetting:
+    """Seconds-scale version of the Section VI sweep."""
+    return SweepSetting(
+        num_ases=3,
+        routers_per_as=14,
+        session_counts=(1, 2, 3),
+        session_sizes=(4, 8, 12),
+        ratio=0.85,
+        prescale_epsilon=0.15,
+        online_tree_limits=(2, 6),
+    )
+
+
+def tiny_sweep_setting() -> SweepSetting:
+    """Sub-second Section VI sweep used by the test suite."""
+    return SweepSetting(
+        num_ases=2,
+        routers_per_as=10,
+        session_counts=(1, 2),
+        session_sizes=(3, 4),
+        ratio=0.80,
+        prescale_epsilon=0.2,
+        online_tree_limits=(1, 2),
+    )
+
+
+def paper_sweep_setting() -> SweepSetting:
+    """The paper's Section VI sweep (10x100 topology, up to 9 sessions of 90)."""
+    return SweepSetting()
+
+
+def flat_setting_for_scale(scale: str) -> FlatSetting:
+    """Resolve a flat setting from a scale name (``tiny``/``quick``/``paper``)."""
+    if scale == "tiny":
+        return tiny_flat_setting()
+    if scale == "quick":
+        return quick_flat_setting()
+    if scale == "paper":
+        return paper_flat_setting()
+    raise ConfigurationError(f"unknown scale {scale!r}; use 'tiny', 'quick' or 'paper'")
+
+
+def limited_tree_setting_for_scale(scale: str) -> LimitedTreeSetting:
+    """Resolve a limited-tree setting from a scale name."""
+    if scale == "tiny":
+        return tiny_limited_tree_setting()
+    if scale == "quick":
+        return quick_limited_tree_setting()
+    if scale == "paper":
+        return paper_limited_tree_setting()
+    raise ConfigurationError(f"unknown scale {scale!r}; use 'tiny', 'quick' or 'paper'")
+
+
+def sweep_setting_for_scale(scale: str) -> SweepSetting:
+    """Resolve a sweep setting from a scale name."""
+    if scale == "tiny":
+        return tiny_sweep_setting()
+    if scale == "quick":
+        return quick_sweep_setting()
+    if scale == "paper":
+        return paper_sweep_setting()
+    raise ConfigurationError(f"unknown scale {scale!r}; use 'tiny', 'quick' or 'paper'")

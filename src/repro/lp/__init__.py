@@ -1,0 +1,23 @@
+"""Exact LP baselines for small instances.
+
+The paper notes that M1/M2 are solvable in polynomial time (via the
+ellipsoid method and the Tutte/Nash-Williams separation oracle) but uses
+the FPTAS in practice.  For validation we provide exact LP formulations
+over *explicitly enumerated* overlay trees, which is tractable for small
+sessions (Cayley: ``|S|^(|S|-2)`` trees) and gives ground-truth optima the
+test suite checks the FPTAS against.
+"""
+
+from repro.lp.exact import (
+    exact_max_flow,
+    exact_max_concurrent_flow,
+    ExactSolution,
+    enumerate_session_trees,
+)
+
+__all__ = [
+    "exact_max_flow",
+    "exact_max_concurrent_flow",
+    "ExactSolution",
+    "enumerate_session_trees",
+]

@@ -1,0 +1,55 @@
+"""Evaluation metrics used by the paper's tables and figures.
+
+* :mod:`distribution` — accumulative tree-rate distributions and the
+  "asymmetric rate distribution" statistics (Figs 2, 3, 7, 8, 17),
+* :mod:`utilization` — link-utilization ratio series, the staircase
+  summary, and edges-per-node counts (Figs 4, 9, 13, 14),
+* :mod:`fairness` — fairness indices and algorithm-versus-algorithm
+  ratios (Figs 15, 16, 18, 19),
+* :mod:`summary` — row builders for the Table II / IV / VII / VIII style
+  reports.
+"""
+
+from repro.metrics.distribution import (
+    tree_rate_distribution,
+    session_rate_distributions,
+    top_fraction_share,
+    asymmetry_index,
+)
+from repro.metrics.utilization import (
+    link_utilization_series,
+    utilization_staircase,
+    covered_edge_count,
+    edges_per_node,
+    mean_utilization,
+)
+from repro.metrics.fairness import (
+    jains_index,
+    min_rate_ratio,
+    throughput_ratio,
+    max_min_violation,
+)
+from repro.metrics.summary import (
+    solution_table_row,
+    solutions_to_table,
+    compare_solutions,
+)
+
+__all__ = [
+    "tree_rate_distribution",
+    "session_rate_distributions",
+    "top_fraction_share",
+    "asymmetry_index",
+    "link_utilization_series",
+    "utilization_staircase",
+    "covered_edge_count",
+    "edges_per_node",
+    "mean_utilization",
+    "jains_index",
+    "min_rate_ratio",
+    "throughput_ratio",
+    "max_min_violation",
+    "solution_table_row",
+    "solutions_to_table",
+    "compare_solutions",
+]

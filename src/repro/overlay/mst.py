@@ -1,0 +1,82 @@
+"""Minimum spanning tree on small dense complete graphs.
+
+The spanning-tree oracle works on the complete overlay graph of a session
+(at most ~90 members in the paper's experiments), so an ``O(n^2)`` Prim
+implementation over a dense NumPy weight matrix is both simplest and
+fastest here — it avoids the overhead of building a sparse graph object
+per oracle call and, unlike :func:`scipy.sparse.csgraph.minimum_spanning_tree`,
+treats zero weights as real (very cheap) edges rather than missing ones,
+which matters because the exponential length function can underflow to
+zero for never-used physical links.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.util.errors import InvalidSessionError
+
+
+def minimum_spanning_tree_pairs(weights: np.ndarray) -> List[Tuple[int, int]]:
+    """Prim's algorithm over a dense symmetric weight matrix.
+
+    Parameters
+    ----------
+    weights:
+        Square symmetric matrix of non-negative edge weights over a
+        complete graph.  ``inf`` entries are treated as missing edges.
+
+    Returns
+    -------
+    list of (i, j)
+        Index pairs (into the matrix) of the ``n - 1`` tree edges, each
+        with ``i < j``.  Deterministic for a given input (ties broken by
+        smallest index).
+
+    Raises
+    ------
+    InvalidSessionError
+        If the matrix is not square/symmetric or the graph restricted to
+        finite weights is disconnected.
+    """
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 2 or w.shape[0] != w.shape[1]:
+        raise InvalidSessionError(f"weight matrix must be square, got shape {w.shape}")
+    n = w.shape[0]
+    if n == 0:
+        return []
+    if n == 1:
+        return []
+    if not np.allclose(w, w.T, equal_nan=True):
+        raise InvalidSessionError("weight matrix must be symmetric")
+    if np.any(w < 0):
+        raise InvalidSessionError("weights must be non-negative")
+
+    in_tree = np.zeros(n, dtype=bool)
+    best_weight = np.full(n, np.inf)
+    best_parent = np.full(n, -1, dtype=np.int64)
+
+    in_tree[0] = True
+    best_weight[:] = w[0]
+    best_weight[0] = np.inf
+    best_parent[:] = 0
+    best_parent[0] = -1
+
+    edges: List[Tuple[int, int]] = []
+    for _ in range(n - 1):
+        candidates = np.where(~in_tree, best_weight, np.inf)
+        nxt = int(np.argmin(candidates))
+        if not np.isfinite(candidates[nxt]):
+            raise InvalidSessionError(
+                "overlay graph is disconnected under the given weights"
+            )
+        parent = int(best_parent[nxt])
+        edges.append((min(parent, nxt), max(parent, nxt)))
+        in_tree[nxt] = True
+        # Relax.
+        improved = (~in_tree) & (w[nxt] < best_weight)
+        best_weight[improved] = w[nxt][improved]
+        best_parent[improved] = nxt
+    return edges

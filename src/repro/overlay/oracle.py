@@ -1,0 +1,192 @@
+"""The minimum overlay spanning tree oracle.
+
+Every algorithm in the paper (MaxFlow, MaxConcurrentFlow, the randomized
+rounding pre-step, and Online-MinCongestion) repeatedly asks the same
+question:
+
+    *Given the current per-edge length function ``d_e``, which spanning
+    tree of session ``S_i``'s overlay graph has minimum total length?*
+
+Under fixed IP routing the overlay edge lengths are linear in ``d_e``
+through a fixed pair-by-edge incidence matrix, so evaluating them is a
+single sparse mat-vec.  Under arbitrary (dynamic) routing, the overlay
+edge between two members is the *shortest* path under ``d_e``, so every
+oracle call runs Dijkstra from each member and reconstructs only the
+``|S| - 1`` paths that end up in the tree (Section V-B of the paper).
+
+The oracle also counts its own invocations; the paper's Tables II and IV
+report running time as "number of MST operations", and we reproduce that
+column from these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.overlay.mst import minimum_spanning_tree_pairs
+from repro.overlay.session import Session
+from repro.overlay.tree import OverlayTree
+from repro.routing.base import PairKey, RoutingModel, pair_key
+from repro.routing.dynamic import DynamicRouting
+from repro.routing.ip_routing import FixedIPRouting
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Result of one minimum-overlay-spanning-tree computation.
+
+    Attributes
+    ----------
+    tree:
+        The minimum overlay spanning tree found.
+    length:
+        Its total length ``sum_e n_e(t) d_e`` under the queried lengths.
+    """
+
+    tree: OverlayTree
+    length: float
+
+
+class MinimumOverlayTreeOracle:
+    """Minimum overlay spanning tree computation for one session.
+
+    Parameters
+    ----------
+    session:
+        The overlay session whose trees are being optimised over.
+    routing:
+        Either a :class:`FixedIPRouting` (paper Sections II–IV) or a
+        :class:`DynamicRouting` (Section V) instance.
+    """
+
+    def __init__(self, session: Session, routing: RoutingModel) -> None:
+        session.validate_against(routing.network)
+        self._session = session
+        self._routing = routing
+        self._network = routing.network
+        self._members = list(session.members)
+        self._call_count = 0
+
+        n = len(self._members)
+        self._triu_rows, self._triu_cols = np.triu_indices(n, k=1)
+
+        if isinstance(routing, FixedIPRouting):
+            self._fixed = True
+            self._pairs = routing.member_pairs(self._members)
+            self._incidence = routing.incidence_for_members(self._members)
+            self._paths = routing.paths_for_pairs(self._pairs)
+            # Map canonical pair -> row index in the incidence matrix.
+            self._pair_row = {pk: r for r, pk in enumerate(self._pairs)}
+        elif isinstance(routing, DynamicRouting):
+            self._fixed = False
+            self._pairs = [
+                pair_key(self._members[i], self._members[j])
+                for i in range(len(self._members))
+                for j in range(i + 1, len(self._members))
+            ]
+            self._incidence = None
+            self._paths = None
+            self._pair_row = {}
+        else:
+            raise ConfigurationError(
+                f"unsupported routing model {type(routing).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def session(self) -> Session:
+        """The session this oracle serves."""
+        return self._session
+
+    @property
+    def routing(self) -> RoutingModel:
+        """The routing model in effect."""
+        return self._routing
+
+    @property
+    def call_count(self) -> int:
+        """Number of minimum-spanning-tree operations performed so far."""
+        return self._call_count
+
+    def reset_call_count(self) -> None:
+        """Reset the MST-operation counter (used between experiment stages)."""
+        self._call_count = 0
+
+    def max_route_length(self) -> int:
+        """``U`` — the longest unicast route (in hops) among member pairs."""
+        return self._routing.max_route_hops(self._members)
+
+    def covered_edges(self) -> np.ndarray:
+        """Physical edges reachable by this session's overlay (fixed routes)."""
+        if self._fixed:
+            usage = np.asarray(self._incidence.sum(axis=0)).ravel()
+            return np.flatnonzero(usage > 0)
+        # For dynamic routing use hop-metric routes as the session footprint.
+        return DynamicRouting(self._network).covered_edges(self._members)
+
+    # ------------------------------------------------------------------
+    # the oracle
+    # ------------------------------------------------------------------
+    def minimum_tree(self, edge_lengths: np.ndarray) -> OracleResult:
+        """Minimum overlay spanning tree under ``edge_lengths``.
+
+        This is the operation counted in the paper's "running time
+        (number of MST operations)" rows.
+        """
+        self._call_count += 1
+        lengths = np.asarray(edge_lengths, dtype=float)
+        members = self._members
+        n = len(members)
+        index_of = {m: i for i, m in enumerate(members)}
+
+        if self._fixed:
+            pair_lengths = self._incidence @ lengths
+            weight = np.zeros((n, n), dtype=float)
+            weight[self._triu_rows, self._triu_cols] = pair_lengths
+            weight[self._triu_cols, self._triu_rows] = pair_lengths
+            tree_index_pairs = minimum_spanning_tree_pairs(weight)
+            overlay_edges = [
+                pair_key(members[i], members[j]) for i, j in tree_index_pairs
+            ]
+            tree = OverlayTree.from_paths(
+                members, overlay_edges, self._paths, self._network.num_edges
+            )
+        else:
+            weight = self._routing.pair_lengths(members, lengths)
+            tree_index_pairs = minimum_spanning_tree_pairs(weight)
+            overlay_edges = [
+                pair_key(members[i], members[j]) for i, j in tree_index_pairs
+            ]
+            paths = self._routing.paths_for_pairs(overlay_edges, lengths)
+            tree = OverlayTree.from_paths(
+                members, overlay_edges, paths, self._network.num_edges
+            )
+        return OracleResult(tree=tree, length=tree.length(lengths))
+
+    def normalized_length(self, result: OracleResult, max_session_size: int) -> float:
+        """Paper's normalised tree length weighted by receiver counts.
+
+        ``d(t) * (|Smax| - 1) / (|S_i| - 1)`` — the quantity the MaxFlow
+        algorithm compares across sessions (line 6 of Table I).
+        """
+        if max_session_size < 2:
+            raise ConfigurationError("max_session_size must be at least 2")
+        return result.length * (max_session_size - 1) / (self._session.size - 1)
+
+
+def build_oracles(
+    sessions: Sequence[Session], routing: RoutingModel
+) -> List[MinimumOverlayTreeOracle]:
+    """Construct one oracle per session over a shared routing model."""
+    return [MinimumOverlayTreeOracle(s, routing) for s in sessions]
+
+
+def total_oracle_calls(oracles: Sequence[MinimumOverlayTreeOracle]) -> int:
+    """Total MST operations across a set of oracles."""
+    return int(sum(o.call_count for o in oracles))

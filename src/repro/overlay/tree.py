@@ -1,0 +1,171 @@
+"""Overlay multicast trees.
+
+An overlay tree ``t`` for session ``S_i`` is a spanning tree of the
+complete overlay graph on the session's members.  Each overlay edge maps
+to a unicast path in the physical network, so a physical edge ``e`` may be
+traversed by several overlay edges of the same tree; ``n_e(t)`` counts
+those traversals and is the quantity the capacity constraints of problems
+M1/M2 are written in terms of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.routing.base import PairKey, pair_key
+from repro.routing.paths import UnicastPath
+from repro.util.errors import InvalidSessionError
+
+
+def _is_spanning_tree(members: Sequence[int], pairs: Sequence[PairKey]) -> bool:
+    """Union-find check that ``pairs`` form a spanning tree over ``members``."""
+    members = list(members)
+    n = len(members)
+    if len(pairs) != n - 1:
+        return False
+    index = {m: i for i, m in enumerate(members)}
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in pairs:
+        if u not in index or v not in index:
+            return False
+        ru, rv = find(index[u]), find(index[v])
+        if ru == rv:
+            return False
+        parent[ru] = rv
+    return True
+
+
+@dataclass(frozen=True)
+class OverlayTree:
+    """A spanning tree of a session's overlay graph with its physical mapping.
+
+    Attributes
+    ----------
+    members:
+        The session members the tree spans.
+    overlay_edges:
+        The ``|S| - 1`` overlay edges as canonical member pairs.
+    paths:
+        Mapping from overlay edge to the unicast path realising it.
+    edge_usage:
+        Dense vector ``n_e(t)`` over physical edges (traversal counts).
+    """
+
+    members: Tuple[int, ...]
+    overlay_edges: Tuple[PairKey, ...]
+    paths: Mapping[PairKey, UnicastPath] = field(repr=False)
+    edge_usage: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        members = tuple(int(m) for m in self.members)
+        edges = tuple(pair_key(*p) for p in self.overlay_edges)
+        object.__setattr__(self, "members", members)
+        object.__setattr__(self, "overlay_edges", edges)
+        object.__setattr__(
+            self, "edge_usage", np.asarray(self.edge_usage, dtype=float)
+        )
+        if not _is_spanning_tree(members, edges):
+            raise InvalidSessionError(
+                f"overlay edges {edges} do not form a spanning tree over {members}"
+            )
+        missing = [p for p in edges if p not in self.paths]
+        if missing:
+            raise InvalidSessionError(f"missing unicast paths for overlay edges {missing}")
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_paths(
+        cls,
+        members: Sequence[int],
+        overlay_edges: Sequence[PairKey],
+        paths: Mapping[PairKey, UnicastPath],
+        num_physical_edges: int,
+    ) -> "OverlayTree":
+        """Build a tree, deriving ``n_e(t)`` from the supplied paths."""
+        usage = np.zeros(num_physical_edges, dtype=float)
+        canonical = [pair_key(*p) for p in overlay_edges]
+        for pk in canonical:
+            path = paths[pk]
+            np.add.at(usage, path.edge_ids, 1.0)
+        kept_paths: Dict[PairKey, UnicastPath] = {pk: paths[pk] for pk in canonical}
+        return cls(
+            members=tuple(members),
+            overlay_edges=tuple(canonical),
+            paths=kept_paths,
+            edge_usage=usage,
+        )
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of members spanned."""
+        return len(self.members)
+
+    @property
+    def num_receivers(self) -> int:
+        """Number of receivers ``|t| - 1``."""
+        return len(self.members) - 1
+
+    @property
+    def physical_edges(self) -> np.ndarray:
+        """Indices of physical edges with non-zero usage."""
+        return np.flatnonzero(self.edge_usage > 0)
+
+    def usage_of(self, edge_id: int) -> float:
+        """``n_e(t)`` for a specific physical edge."""
+        return float(self.edge_usage[int(edge_id)])
+
+    def length(self, edge_lengths: np.ndarray) -> float:
+        """Tree length ``sum_e n_e(t) * d_e`` under a length function."""
+        return float(np.dot(self.edge_usage, np.asarray(edge_lengths, dtype=float)))
+
+    def bottleneck_capacity(self, capacities: np.ndarray) -> float:
+        """``min_{e in t} c_e / n_e(t)`` — the rate one unit of tree flow allows.
+
+        This is the amount of traffic the MaxFlow algorithm routes per
+        augmentation (line 10 of the paper's Table I).
+        """
+        caps = np.asarray(capacities, dtype=float)
+        used = self.physical_edges
+        if used.size == 0:
+            return float("inf")
+        return float((caps[used] / self.edge_usage[used]).min())
+
+    def canonical_key(self) -> Tuple:
+        """Hashable identity of the tree (overlay edges + physical realisation).
+
+        Two trees are "the same tree" for the paper's tree-count metrics
+        when they use the same overlay edges *and* the same physical
+        paths; under fixed IP routing the second condition is implied by
+        the first, under dynamic routing it is not.
+        """
+        usage_items = tuple(
+            (int(e), float(self.edge_usage[e])) for e in self.physical_edges
+        )
+        return (tuple(sorted(self.overlay_edges)), usage_items)
+
+    def total_physical_hops(self) -> float:
+        """Total number of physical link traversals (the tree's "link stress")."""
+        return float(self.edge_usage.sum())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OverlayTree):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())

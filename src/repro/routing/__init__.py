@@ -1,0 +1,39 @@
+"""Unicast routing substrate.
+
+The paper's overlay model maps every overlay edge (a pair of session
+members) onto a unicast route in the physical network:
+
+* **Fixed IP routing** (Sections II-IV): the route between two end systems
+  is the shortest path computed once over the physical topology (hop
+  metric with deterministic tie-breaking), exactly like static
+  shortest-path IP routing.
+* **Arbitrary / dynamic routing** (Section V): the route may be any
+  unicast path; the algorithms pick the shortest path under the *current*
+  exponential length function each time the spanning-tree oracle runs.
+
+Both are exposed behind the :class:`RoutingModel` interface so every
+algorithm in :mod:`repro.core` can switch between them with a flag, which
+is how the paper quantifies the impact of IP routing.
+"""
+
+from repro.routing.paths import UnicastPath
+from repro.routing.shortest_path import (
+    shortest_path_tree,
+    reconstruct_path,
+    pairwise_distances,
+    single_pair_shortest_path,
+)
+from repro.routing.base import RoutingModel
+from repro.routing.ip_routing import FixedIPRouting
+from repro.routing.dynamic import DynamicRouting
+
+__all__ = [
+    "UnicastPath",
+    "shortest_path_tree",
+    "reconstruct_path",
+    "pairwise_distances",
+    "single_pair_shortest_path",
+    "RoutingModel",
+    "FixedIPRouting",
+    "DynamicRouting",
+]

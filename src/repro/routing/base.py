@@ -1,0 +1,93 @@
+"""Routing model interface.
+
+A routing model answers one question for the flow algorithms: *given a set
+of overlay nodes and the current per-edge length function, what unicast
+route and what route length connects each pair?*  Fixed IP routing answers
+with routes precomputed under the hop metric; dynamic routing answers with
+shortest paths under the current lengths.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.routing.paths import UnicastPath
+from repro.topology.network import PhysicalNetwork
+
+PairKey = Tuple[int, int]
+
+
+def pair_key(u: int, v: int) -> PairKey:
+    """Canonical (sorted) key for an unordered node pair."""
+    u, v = int(u), int(v)
+    return (u, v) if u < v else (v, u)
+
+
+class RoutingModel(abc.ABC):
+    """Maps overlay node pairs to unicast routes in the physical network."""
+
+    def __init__(self, network: PhysicalNetwork) -> None:
+        self._network = network
+
+    @property
+    def network(self) -> PhysicalNetwork:
+        """The physical network this model routes over."""
+        return self._network
+
+    @property
+    @abc.abstractmethod
+    def is_dynamic(self) -> bool:
+        """Whether routes depend on the current length function."""
+
+    @abc.abstractmethod
+    def pair_lengths(
+        self,
+        members: Sequence[int],
+        edge_lengths: np.ndarray,
+    ) -> np.ndarray:
+        """Length of the route between every pair of ``members``.
+
+        Returns a symmetric ``(len(members), len(members))`` matrix whose
+        ``(i, j)`` entry is the length, under ``edge_lengths``, of the
+        unicast route this model assigns to ``(members[i], members[j])``.
+        The diagonal is zero.
+        """
+
+    @abc.abstractmethod
+    def paths_for_pairs(
+        self,
+        pairs: Sequence[PairKey],
+        edge_lengths: Optional[np.ndarray] = None,
+    ) -> Dict[PairKey, UnicastPath]:
+        """Concrete unicast routes for the given (canonical) node pairs.
+
+        For fixed IP routing the ``edge_lengths`` argument is ignored; for
+        dynamic routing it selects the paths.  The returned dictionary is
+        keyed by canonical pair.
+        """
+
+    def path_for_pair(
+        self,
+        u: int,
+        v: int,
+        edge_lengths: Optional[np.ndarray] = None,
+    ) -> UnicastPath:
+        """Route for a single pair (convenience wrapper)."""
+        key = pair_key(u, v)
+        return self.paths_for_pairs([key], edge_lengths)[key]
+
+    def max_route_hops(self, members: Sequence[int]) -> int:
+        """Longest route (in hops) among all member pairs under hop metric.
+
+        Used to compute the FPTAS initialisation constant ``U`` (the
+        length of the longest unicast route) from the paper's Lemma 3.
+        """
+        members = list(dict.fromkeys(int(m) for m in members))
+        if len(members) < 2:
+            return 0
+        hop_lengths = self.pair_lengths(members, np.ones(self._network.num_edges))
+        finite = hop_lengths[np.isfinite(hop_lengths)]
+        return int(round(float(finite.max()))) if finite.size else 0

@@ -1,0 +1,96 @@
+"""Arbitrary (dynamic) unicast routing.
+
+Section V of the paper asks how much fixed IP routing constrains the
+achievable capacity utilization.  To answer it, the overlay tree is
+redefined so that each tree link may use *any* unicast path, and the
+algorithms pick, at every oracle invocation, the shortest path under the
+current exponential length function.  This class implements exactly that:
+every call recomputes shortest paths with the supplied per-edge lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.routing.base import PairKey, RoutingModel, pair_key
+from repro.routing.paths import UnicastPath
+from repro.routing.shortest_path import reconstruct_path, shortest_path_tree
+from repro.topology.network import PhysicalNetwork
+from repro.util.errors import InfeasibleProblemError
+
+
+class DynamicRouting(RoutingModel):
+    """Shortest-path routing under the caller-supplied length function."""
+
+    def __init__(self, network: PhysicalNetwork) -> None:
+        super().__init__(network)
+
+    @property
+    def is_dynamic(self) -> bool:
+        return True
+
+    def pair_lengths(
+        self,
+        members: Sequence[int],
+        edge_lengths: np.ndarray,
+    ) -> np.ndarray:
+        """Shortest-path distance between every member pair under the lengths."""
+        members = [int(m) for m in members]
+        n = len(members)
+        if n < 2:
+            return np.zeros((n, n), dtype=float)
+        distances, _ = shortest_path_tree(self._network, members, edge_lengths)
+        sub = distances[:, members]
+        # Symmetrise (undirected graph; numerical asymmetry should not occur,
+        # but a max keeps the matrix exactly symmetric for the MST step).
+        return np.maximum(sub, sub.T) * 0.5 + np.minimum(sub, sub.T) * 0.5
+
+    def paths_for_pairs(
+        self,
+        pairs: Sequence[PairKey],
+        edge_lengths: Optional[np.ndarray] = None,
+    ) -> Dict[PairKey, UnicastPath]:
+        """Shortest paths for the given pairs under ``edge_lengths``.
+
+        ``edge_lengths=None`` falls back to the hop metric, which makes the
+        dynamic model coincide with fixed IP routing for a fresh network.
+        """
+        canonical = [pair_key(*p) for p in pairs]
+        by_source: Dict[int, List[int]] = {}
+        for u, v in canonical:
+            if u != v:
+                by_source.setdefault(u, []).append(v)
+        out: Dict[PairKey, UnicastPath] = {}
+        for source, dests in by_source.items():
+            distances, predecessors = shortest_path_tree(
+                self._network, [source], edge_lengths
+            )
+            for dest in dests:
+                if not np.isfinite(distances[0, dest]):
+                    raise InfeasibleProblemError(
+                        f"nodes {source} and {dest} are disconnected"
+                    )
+                out[(source, dest)] = reconstruct_path(
+                    self._network, predecessors[0], source, dest
+                )
+        for u, v in canonical:
+            if u == v:
+                out[(u, v)] = UnicastPath(nodes=(u,), edge_ids=np.empty(0, dtype=np.int64))
+        return out
+
+    def covered_edges(
+        self, members: Sequence[int], edge_lengths: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Edges used by the member-pair shortest paths under ``edge_lengths``."""
+        pairs = [
+            pair_key(members[i], members[j])
+            for i in range(len(members))
+            for j in range(i + 1, len(members))
+        ]
+        paths = self.paths_for_pairs(pairs, edge_lengths)
+        used = np.zeros(self._network.num_edges, dtype=bool)
+        for path in paths.values():
+            used[path.edge_ids] = True
+        return np.flatnonzero(used)

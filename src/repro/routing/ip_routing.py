@@ -1,0 +1,160 @@
+"""Fixed IP (shortest-path) routing.
+
+Models static IP routing as used in Sections II–IV of the paper: the
+route between two end systems is the hop-count shortest path in the
+physical topology, computed once and never changed afterwards, regardless
+of how congested its links become.  The flow algorithms only vary the
+*rates* they push over these fixed routes.
+
+For efficiency the class caches, per set of overlay members, a sparse
+pair-by-edge incidence matrix so that evaluating the lengths of all
+overlay edges under a new length function is a single sparse
+matrix-vector product.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.routing.base import PairKey, RoutingModel, pair_key
+from repro.routing.paths import UnicastPath
+from repro.routing.shortest_path import reconstruct_path, shortest_path_tree
+from repro.topology.network import PhysicalNetwork
+from repro.util.errors import InfeasibleProblemError
+
+
+class FixedIPRouting(RoutingModel):
+    """Hop-count shortest-path routing with per-pair route caching."""
+
+    def __init__(self, network: PhysicalNetwork) -> None:
+        super().__init__(network)
+        self._path_cache: Dict[PairKey, UnicastPath] = {}
+        self._incidence_cache: Dict[Tuple[int, ...], csr_matrix] = {}
+
+    @property
+    def is_dynamic(self) -> bool:
+        return False
+
+    # ------------------------------------------------------------------
+    # route computation / caching
+    # ------------------------------------------------------------------
+    def _compute_routes_from(self, source: int, destinations: Sequence[int]) -> None:
+        """Populate the path cache with routes from ``source``."""
+        distances, predecessors = shortest_path_tree(self._network, [source])
+        for dest in destinations:
+            key = pair_key(source, dest)
+            if key in self._path_cache or source == dest:
+                continue
+            if not np.isfinite(distances[0, dest]):
+                raise InfeasibleProblemError(
+                    f"nodes {source} and {dest} are disconnected in the physical network"
+                )
+            path = reconstruct_path(self._network, predecessors[0], source, dest)
+            # Store the path oriented from the smaller to the larger node id
+            # so lookups by canonical pair are orientation-independent.
+            if path.nodes[0] != key[0]:
+                path = UnicastPath(
+                    nodes=tuple(reversed(path.nodes)), edge_ids=path.edge_ids[::-1]
+                )
+            self._path_cache[key] = path
+
+    def paths_for_pairs(
+        self,
+        pairs: Sequence[PairKey],
+        edge_lengths: Optional[np.ndarray] = None,
+    ) -> Dict[PairKey, UnicastPath]:
+        """Fixed routes for the given pairs (``edge_lengths`` is ignored)."""
+        canonical = [pair_key(*p) for p in pairs]
+        missing: Dict[int, List[int]] = {}
+        for u, v in canonical:
+            if (u, v) not in self._path_cache and u != v:
+                missing.setdefault(u, []).append(v)
+        for source, dests in missing.items():
+            self._compute_routes_from(source, dests)
+        out: Dict[PairKey, UnicastPath] = {}
+        for key in canonical:
+            u, v = key
+            if u == v:
+                out[key] = UnicastPath(nodes=(u,), edge_ids=np.empty(0, dtype=np.int64))
+            else:
+                out[key] = self._path_cache[key]
+        return out
+
+    # ------------------------------------------------------------------
+    # incidence matrices
+    # ------------------------------------------------------------------
+    @staticmethod
+    def member_pairs(members: Sequence[int]) -> List[PairKey]:
+        """Canonical pair list for a member set, in deterministic order."""
+        members = [int(m) for m in members]
+        return [
+            pair_key(members[i], members[j])
+            for i in range(len(members))
+            for j in range(i + 1, len(members))
+        ]
+
+    def incidence_for_members(self, members: Sequence[int]) -> csr_matrix:
+        """Sparse (num_pairs x num_edges) 0/1 incidence of fixed routes.
+
+        Row ``r`` corresponds to the ``r``-th pair returned by
+        :meth:`member_pairs`; entry ``(r, e)`` is 1 when physical edge
+        ``e`` lies on the fixed route of that pair.  Cached per member
+        tuple because the FPTAS evaluates it thousands of times.
+        """
+        key = tuple(int(m) for m in members)
+        cached = self._incidence_cache.get(key)
+        if cached is not None:
+            return cached
+        pairs = self.member_pairs(members)
+        paths = self.paths_for_pairs(pairs)
+        rows: List[int] = []
+        cols: List[int] = []
+        for r, pk in enumerate(pairs):
+            for eid in paths[pk].edge_ids:
+                rows.append(r)
+                cols.append(int(eid))
+        data = np.ones(len(rows), dtype=float)
+        matrix = csr_matrix(
+            (data, (rows, cols)), shape=(len(pairs), self._network.num_edges)
+        )
+        self._incidence_cache[key] = matrix
+        return matrix
+
+    def pair_lengths(
+        self,
+        members: Sequence[int],
+        edge_lengths: np.ndarray,
+    ) -> np.ndarray:
+        """Symmetric matrix of fixed-route lengths under ``edge_lengths``."""
+        members = [int(m) for m in members]
+        n = len(members)
+        lengths = np.zeros((n, n), dtype=float)
+        if n < 2:
+            return lengths
+        incidence = self.incidence_for_members(members)
+        pair_lengths = incidence @ np.asarray(edge_lengths, dtype=float)
+        rows, cols = np.triu_indices(n, k=1)
+        lengths[rows, cols] = pair_lengths
+        lengths[cols, rows] = pair_lengths
+        return lengths
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def cached_pair_count(self) -> int:
+        """Number of pair routes currently cached (for tests/diagnostics)."""
+        return len(self._path_cache)
+
+    def covered_edges(self, members: Sequence[int]) -> np.ndarray:
+        """Indices of physical edges used by at least one member-pair route.
+
+        This is the "physical links covered by the overlay" notion used in
+        the paper's link-utilization figures (Fig. 4/9/14) and the
+        edges-per-node statistic (Fig. 13).
+        """
+        incidence = self.incidence_for_members(members)
+        usage = np.asarray(incidence.sum(axis=0)).ravel()
+        return np.flatnonzero(usage > 0)

@@ -1,0 +1,133 @@
+"""Shortest-path primitives over :class:`PhysicalNetwork`.
+
+Thin, vectorised wrappers around :func:`scipy.sparse.csgraph.dijkstra`.
+The flow algorithms need two operations:
+
+* per-source shortest-path trees under a given per-edge weight vector
+  (used by both routing models), and
+* path reconstruction from the predecessor matrix into
+  :class:`~repro.routing.paths.UnicastPath` objects with physical edge
+  indices resolved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse.csgraph import dijkstra
+
+from repro.routing.paths import UnicastPath
+from repro.topology.network import PhysicalNetwork
+from repro.util.errors import InfeasibleProblemError, InvalidNetworkError
+
+
+def _weight_matrix(network: PhysicalNetwork, edge_weights: Optional[np.ndarray]):
+    if edge_weights is None:
+        weights = np.ones(network.num_edges, dtype=float)
+    else:
+        weights = np.asarray(edge_weights, dtype=float)
+        if weights.shape != (network.num_edges,):
+            raise InvalidNetworkError(
+                f"edge_weights must have shape ({network.num_edges},), "
+                f"got {weights.shape}"
+            )
+        if np.any(weights < 0):
+            raise InvalidNetworkError("edge weights must be non-negative")
+    return network.adjacency_matrix(weights)
+
+
+def shortest_path_tree(
+    network: PhysicalNetwork,
+    sources: Sequence[int],
+    edge_weights: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Dijkstra from every node in ``sources``.
+
+    Returns ``(distances, predecessors)`` with shape
+    ``(len(sources), num_nodes)``.  ``edge_weights=None`` means the hop
+    metric (all weights 1), which is how fixed IP routes are computed.
+
+    Note: zero weights are clamped to a tiny positive value because the
+    CSR adjacency representation cannot distinguish a zero-weight edge
+    from a missing edge.  The exponential length functions used by the
+    FPTAS are strictly positive, so the clamp only matters for degenerate
+    caller-provided weights.
+    """
+    src = np.asarray(list(sources), dtype=np.int64)
+    if src.size == 0:
+        return (
+            np.zeros((0, network.num_nodes)),
+            np.zeros((0, network.num_nodes), dtype=np.int64),
+        )
+    if np.any(src < 0) or np.any(src >= network.num_nodes):
+        raise InvalidNetworkError("source outside the network's node range")
+    if edge_weights is not None:
+        edge_weights = np.asarray(edge_weights, dtype=float)
+        if np.any(edge_weights < 0):
+            raise InvalidNetworkError("edge weights must be non-negative")
+        tiny = np.finfo(float).tiny
+        edge_weights = np.where(edge_weights == 0, tiny, edge_weights)
+    matrix = _weight_matrix(network, edge_weights)
+    distances, predecessors = dijkstra(
+        matrix, directed=False, indices=src, return_predecessors=True
+    )
+    return distances, predecessors
+
+
+def reconstruct_path(
+    network: PhysicalNetwork,
+    predecessors_row: np.ndarray,
+    source: int,
+    destination: int,
+) -> UnicastPath:
+    """Rebuild the path ``source -> destination`` from one predecessor row.
+
+    Raises :class:`InfeasibleProblemError` when the destination is
+    unreachable from the source.
+    """
+    if source == destination:
+        return UnicastPath(nodes=(int(source),), edge_ids=np.empty(0, dtype=np.int64))
+    nodes = [int(destination)]
+    current = int(destination)
+    limit = network.num_nodes + 1
+    for _ in range(limit):
+        prev = int(predecessors_row[current])
+        if prev < 0:
+            raise InfeasibleProblemError(
+                f"node {destination} is unreachable from node {source}"
+            )
+        nodes.append(prev)
+        current = prev
+        if current == source:
+            break
+    else:  # pragma: no cover - defensive; predecessor chains cannot cycle
+        raise InfeasibleProblemError("predecessor chain did not terminate")
+    nodes.reverse()
+    return UnicastPath.from_nodes(network, nodes)
+
+
+def single_pair_shortest_path(
+    network: PhysicalNetwork,
+    source: int,
+    destination: int,
+    edge_weights: Optional[np.ndarray] = None,
+) -> UnicastPath:
+    """Shortest path between a single pair of nodes."""
+    distances, predecessors = shortest_path_tree(network, [source], edge_weights)
+    if not np.isfinite(distances[0, destination]):
+        raise InfeasibleProblemError(
+            f"node {destination} is unreachable from node {source}"
+        )
+    return reconstruct_path(network, predecessors[0], source, destination)
+
+
+def pairwise_distances(
+    network: PhysicalNetwork,
+    nodes: Sequence[int],
+    edge_weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Distance matrix restricted to ``nodes`` (square, in ``nodes`` order)."""
+    nodes = list(int(n) for n in nodes)
+    distances, _ = shortest_path_tree(network, nodes, edge_weights)
+    return distances[:, nodes]

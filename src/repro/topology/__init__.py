@@ -1,0 +1,45 @@
+"""Physical network topologies.
+
+The paper evaluates its algorithms on router-level topologies produced by
+the BRITE generator (Waxman model for the flat 100-node topology of
+Sections III–V, and a two-level AS/router hierarchy for the sweeps of
+Section VI).  BRITE is an external tool, so this subpackage implements the
+same generative models directly:
+
+* :func:`waxman_topology` — the classic Waxman random graph used for the
+  flat router-level topology,
+* :func:`barabasi_albert_topology` — BRITE's alternative preferential
+  attachment model,
+* :func:`two_level_topology` — the AS-level + router-level hierarchy used
+  in the Section VI evaluation,
+* :class:`PhysicalNetwork` — the capacity-annotated undirected graph every
+  other subsystem operates on.
+"""
+
+from repro.topology.network import PhysicalNetwork
+from repro.topology.waxman import waxman_topology, WaxmanParameters
+from repro.topology.barabasi import barabasi_albert_topology
+from repro.topology.hierarchical import two_level_topology, TwoLevelParameters
+from repro.topology.generators import (
+    grid_topology,
+    ring_topology,
+    random_regular_topology,
+    complete_topology,
+    paper_flat_topology,
+    paper_two_level_topology,
+)
+
+__all__ = [
+    "PhysicalNetwork",
+    "waxman_topology",
+    "WaxmanParameters",
+    "barabasi_albert_topology",
+    "two_level_topology",
+    "TwoLevelParameters",
+    "grid_topology",
+    "ring_topology",
+    "random_regular_topology",
+    "complete_topology",
+    "paper_flat_topology",
+    "paper_two_level_topology",
+]

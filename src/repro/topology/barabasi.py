@@ -1,0 +1,70 @@
+"""Barabási–Albert preferential-attachment topology generator.
+
+BRITE offers the BA model as the alternative to Waxman; we include it so
+the sensitivity of the paper's findings to the topology model can be
+explored (the paper notes its conclusions persist on different
+topologies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.network import PhysicalNetwork
+from repro.util.errors import ConfigurationError
+from repro.util.rng import SeedLike, ensure_rng
+
+
+def barabasi_albert_topology(
+    num_nodes: int,
+    attachment: int = 2,
+    capacity: float = 100.0,
+    seed: SeedLike = None,
+) -> PhysicalNetwork:
+    """Generate a Barabási–Albert preferential attachment topology.
+
+    The construction starts from a clique on ``attachment + 1`` nodes; each
+    subsequent node attaches to ``attachment`` distinct existing nodes with
+    probability proportional to their current degree.
+
+    Parameters
+    ----------
+    num_nodes:
+        Total number of routers.
+    attachment:
+        Edges added per new node (``m`` in the BA model).
+    capacity:
+        Uniform link capacity.
+    seed:
+        RNG seed.
+    """
+    if attachment < 1:
+        raise ConfigurationError(f"attachment must be >= 1, got {attachment}")
+    if num_nodes <= attachment:
+        raise ConfigurationError(
+            f"num_nodes must exceed attachment ({attachment}), got {num_nodes}"
+        )
+    rng = ensure_rng(seed)
+
+    edges = set()
+    degrees = np.zeros(num_nodes, dtype=float)
+
+    seed_size = attachment + 1
+    for u in range(seed_size):
+        for v in range(u + 1, seed_size):
+            edges.add((u, v))
+            degrees[u] += 1
+            degrees[v] += 1
+
+    for new in range(seed_size, num_nodes):
+        existing = degrees[:new]
+        probs = existing / existing.sum()
+        targets = rng.choice(new, size=attachment, replace=False, p=probs)
+        for t in np.atleast_1d(targets):
+            t = int(t)
+            edges.add((min(new, t), max(new, t)))
+            degrees[new] += 1
+            degrees[t] += 1
+
+    edge_list = [(u, v, capacity) for (u, v) in sorted(edges)]
+    return PhysicalNetwork(num_nodes, edge_list, default_capacity=capacity)

@@ -1,0 +1,140 @@
+"""Convenience topology constructors.
+
+Besides the Waxman/BA/hierarchical models, the test suite and examples use
+a handful of deterministic topologies (grids, rings, complete graphs,
+random-regular graphs) whose optimal flow values can be reasoned about by
+hand.  The two ``paper_*`` helpers build the exact evaluation topologies
+of the paper at configurable scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.topology.hierarchical import TwoLevelParameters, two_level_topology
+from repro.topology.network import PhysicalNetwork
+from repro.topology.waxman import WaxmanParameters, waxman_topology
+from repro.util.errors import ConfigurationError
+from repro.util.rng import SeedLike, ensure_rng
+
+
+def grid_topology(rows: int, cols: int, capacity: float = 100.0) -> PhysicalNetwork:
+    """A ``rows x cols`` 4-neighbour grid with uniform capacity."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ConfigurationError(f"grid must have at least 2 nodes, got {rows}x{cols}")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1, capacity))
+            if r + 1 < rows:
+                edges.append((node, node + cols, capacity))
+    return PhysicalNetwork(rows * cols, edges, default_capacity=capacity)
+
+
+def ring_topology(num_nodes: int, capacity: float = 100.0) -> PhysicalNetwork:
+    """A cycle on ``num_nodes`` vertices with uniform capacity."""
+    if num_nodes < 3:
+        raise ConfigurationError(f"a ring needs >= 3 nodes, got {num_nodes}")
+    edges = [(i, (i + 1) % num_nodes, capacity) for i in range(num_nodes)]
+    return PhysicalNetwork(num_nodes, edges, default_capacity=capacity)
+
+
+def complete_topology(num_nodes: int, capacity: float = 100.0) -> PhysicalNetwork:
+    """A complete graph on ``num_nodes`` vertices with uniform capacity."""
+    if num_nodes < 2:
+        raise ConfigurationError(f"a complete graph needs >= 2 nodes, got {num_nodes}")
+    edges = [
+        (u, v, capacity) for u in range(num_nodes) for v in range(u + 1, num_nodes)
+    ]
+    return PhysicalNetwork(num_nodes, edges, default_capacity=capacity)
+
+
+def random_regular_topology(
+    num_nodes: int,
+    degree: int = 4,
+    capacity: float = 100.0,
+    seed: SeedLike = None,
+    max_attempts: int = 100,
+) -> PhysicalNetwork:
+    """A connected random ``degree``-regular graph (configuration model).
+
+    Retries until a simple connected graph is produced, up to
+    ``max_attempts`` times.
+    """
+    if degree < 2:
+        raise ConfigurationError(f"degree must be >= 2, got {degree}")
+    if num_nodes <= degree:
+        raise ConfigurationError(
+            f"num_nodes must exceed degree ({degree}), got {num_nodes}"
+        )
+    if (num_nodes * degree) % 2 != 0:
+        raise ConfigurationError("num_nodes * degree must be even")
+    rng = ensure_rng(seed)
+
+    for _attempt in range(max_attempts):
+        stubs = np.repeat(np.arange(num_nodes), degree)
+        rng.shuffle(stubs)
+        pairs = stubs.reshape(-1, 2)
+        edge_set = set()
+        ok = True
+        for u, v in pairs:
+            u, v = int(u), int(v)
+            if u == v:
+                ok = False
+                break
+            key = (min(u, v), max(u, v))
+            if key in edge_set:
+                ok = False
+                break
+            edge_set.add(key)
+        if not ok:
+            continue
+        net = PhysicalNetwork(
+            num_nodes, [(u, v, capacity) for u, v in sorted(edge_set)],
+            default_capacity=capacity,
+        )
+        if net.is_connected():
+            return net
+    raise ConfigurationError(
+        f"failed to generate a connected {degree}-regular graph on "
+        f"{num_nodes} nodes after {max_attempts} attempts"
+    )
+
+
+def paper_flat_topology(
+    num_nodes: int = 100,
+    capacity: float = 100.0,
+    seed: SeedLike = 2004,
+    parameters: Optional[WaxmanParameters] = None,
+) -> PhysicalNetwork:
+    """The flat 100-node Waxman router topology of the paper's Sections III-V.
+
+    All edges have capacity 100 as in the paper.  ``seed`` defaults to a
+    fixed value so that every experiment module operates on the same
+    topology unless told otherwise.
+    """
+    return waxman_topology(num_nodes, capacity=capacity, parameters=parameters, seed=seed)
+
+
+def paper_two_level_topology(
+    num_ases: int = 10,
+    routers_per_as: int = 100,
+    capacity: float = 100.0,
+    seed: SeedLike = 2004,
+) -> PhysicalNetwork:
+    """The two-level 10x100 topology of the paper's Section VI evaluation.
+
+    At quick scale, experiments shrink ``num_ases``/``routers_per_as`` so
+    the sweeps finish in seconds; the construction is identical.
+    """
+    params = TwoLevelParameters(
+        num_ases=num_ases,
+        routers_per_as=routers_per_as,
+        intra_capacity=capacity,
+        inter_capacity=capacity,
+    )
+    return two_level_topology(params, seed=seed)

@@ -1,0 +1,140 @@
+"""Two-level (AS-level + router-level) hierarchical topologies.
+
+Section VI of the paper evaluates the algorithms on a topology built by
+BRITE's top-down hierarchical mode: a 10-node AS-level topology where each
+AS is expanded into a 100-node router-level topology, with inter-AS links
+connecting border routers.  This module reproduces that construction:
+
+1. generate an AS-level Waxman graph,
+2. generate an independent router-level Waxman graph per AS,
+3. for every AS-level edge, connect a randomly chosen border router of
+   one AS to a randomly chosen border router of the other.
+
+Router-level link capacities and inter-AS link capacities are
+configurable; the paper uses a uniform capacity of 100 for all links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.topology.network import PhysicalNetwork
+from repro.topology.waxman import WaxmanParameters, waxman_topology
+from repro.util.errors import ConfigurationError
+from repro.util.rng import SeedLike, ensure_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class TwoLevelParameters:
+    """Parameters of the two-level hierarchical generator.
+
+    Attributes
+    ----------
+    num_ases:
+        Number of AS-level nodes.
+    routers_per_as:
+        Router-level nodes inside each AS.
+    intra_capacity:
+        Capacity of router-level (intra-AS) links.
+    inter_capacity:
+        Capacity of inter-AS links.
+    as_waxman / router_waxman:
+        Waxman parameters for each level.
+    inter_as_links_per_edge:
+        Number of border-router pairs connected per AS-level edge.
+    """
+
+    num_ases: int = 10
+    routers_per_as: int = 100
+    intra_capacity: float = 100.0
+    inter_capacity: float = 100.0
+    as_waxman: WaxmanParameters = WaxmanParameters(alpha=0.3, beta=0.3)
+    router_waxman: WaxmanParameters = WaxmanParameters()
+    inter_as_links_per_edge: int = 1
+
+    def validate(self) -> None:
+        if self.num_ases < 1:
+            raise ConfigurationError(f"num_ases must be >= 1, got {self.num_ases}")
+        if self.routers_per_as < 2:
+            raise ConfigurationError(
+                f"routers_per_as must be >= 2, got {self.routers_per_as}"
+            )
+        if self.intra_capacity <= 0 or self.inter_capacity <= 0:
+            raise ConfigurationError("capacities must be positive")
+        if self.inter_as_links_per_edge < 1:
+            raise ConfigurationError(
+                "inter_as_links_per_edge must be >= 1, got "
+                f"{self.inter_as_links_per_edge}"
+            )
+        self.as_waxman.validate()
+        self.router_waxman.validate()
+
+
+def two_level_topology(
+    parameters: Optional[TwoLevelParameters] = None,
+    seed: SeedLike = None,
+) -> PhysicalNetwork:
+    """Generate a two-level AS/router hierarchical topology.
+
+    Returns a :class:`PhysicalNetwork` whose ``node_levels`` attribute maps
+    each router to the index of its AS, which experiments use to place
+    session members across ASes as the paper assumes.
+    """
+    params = parameters or TwoLevelParameters()
+    params.validate()
+    rng = ensure_rng(seed)
+
+    if params.num_ases == 1:
+        inner = waxman_topology(
+            params.routers_per_as,
+            capacity=params.intra_capacity,
+            parameters=params.router_waxman,
+            seed=rng,
+        )
+        levels = np.zeros(inner.num_nodes, dtype=np.int64)
+        edges = [
+            (int(u), int(v), float(c))
+            for (u, v), c in zip(inner.edge_endpoints, inner.capacities)
+        ]
+        return PhysicalNetwork(
+            inner.num_nodes, edges, node_positions=inner.node_positions, node_levels=levels
+        )
+
+    as_graph = waxman_topology(
+        params.num_ases,
+        capacity=params.inter_capacity,
+        parameters=params.as_waxman,
+        seed=rng,
+    )
+
+    router_rngs = spawn_rngs(rng, params.num_ases + 1)
+    link_rng = router_rngs[-1]
+
+    total_nodes = params.num_ases * params.routers_per_as
+    levels = np.empty(total_nodes, dtype=np.int64)
+    all_edges = []
+    for as_index in range(params.num_ases):
+        offset = as_index * params.routers_per_as
+        inner = waxman_topology(
+            params.routers_per_as,
+            capacity=params.intra_capacity,
+            parameters=params.router_waxman,
+            seed=router_rngs[as_index],
+        )
+        levels[offset : offset + params.routers_per_as] = as_index
+        for (u, v), cap in zip(inner.edge_endpoints, inner.capacities):
+            all_edges.append((offset + int(u), offset + int(v), float(cap)))
+
+    # Inter-AS links: for each AS-level edge, connect border routers.
+    for a, b in as_graph.edges():
+        for _ in range(params.inter_as_links_per_edge):
+            ra = int(link_rng.integers(0, params.routers_per_as)) + a * params.routers_per_as
+            rb = int(link_rng.integers(0, params.routers_per_as)) + b * params.routers_per_as
+            edge = (min(ra, rb), max(ra, rb), params.inter_capacity)
+            if (edge[0], edge[1]) not in {(e[0], e[1]) for e in all_edges}:
+                all_edges.append(edge)
+
+    return PhysicalNetwork(total_nodes, all_edges, node_levels=levels)

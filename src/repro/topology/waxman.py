@@ -1,0 +1,122 @@
+"""Waxman random topology generator.
+
+The paper's flat 100-node router-level topology (Sections III–V) is
+produced by the BRITE generator's Waxman model.  The Waxman model places
+``n`` nodes uniformly in a square and connects each pair ``(u, v)`` with
+probability ``alpha * exp(-d(u, v) / (beta * L))`` where ``d`` is the
+Euclidean distance and ``L`` the maximum possible distance.  BRITE
+additionally guarantees connectivity by incrementally attaching each new
+node to at least ``m`` existing nodes; we reproduce both behaviours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.topology.network import PhysicalNetwork
+from repro.util.errors import ConfigurationError
+from repro.util.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class WaxmanParameters:
+    """Parameters of the Waxman model.
+
+    Attributes
+    ----------
+    alpha:
+        Overall edge density knob (BRITE default 0.15).
+    beta:
+        Distance sensitivity; larger values favour long edges
+        (BRITE default 0.2).
+    domain_size:
+        Side length of the placement square.
+    min_attachment:
+        Minimum number of edges each incrementally-placed node creates to
+        previously placed nodes (BRITE's ``m``); guarantees connectivity
+        when >= 1.
+    """
+
+    alpha: float = 0.15
+    beta: float = 0.2
+    domain_size: float = 1000.0
+    min_attachment: int = 2
+
+    def validate(self) -> None:
+        if not 0 < self.alpha <= 1:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.beta <= 0:
+            raise ConfigurationError(f"beta must be positive, got {self.beta}")
+        if self.domain_size <= 0:
+            raise ConfigurationError(f"domain_size must be positive, got {self.domain_size}")
+        if self.min_attachment < 1:
+            raise ConfigurationError(
+                f"min_attachment must be >= 1, got {self.min_attachment}"
+            )
+
+
+def waxman_topology(
+    num_nodes: int,
+    capacity: float = 100.0,
+    parameters: Optional[WaxmanParameters] = None,
+    seed: SeedLike = None,
+) -> PhysicalNetwork:
+    """Generate a connected Waxman topology.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of routers.
+    capacity:
+        Uniform link capacity (the paper uses 100 everywhere).
+    parameters:
+        Waxman model parameters; defaults follow BRITE's defaults.
+    seed:
+        RNG seed for reproducibility.
+
+    Returns
+    -------
+    PhysicalNetwork
+        A connected topology with node positions recorded.
+    """
+    if num_nodes < 2:
+        raise ConfigurationError(f"num_nodes must be >= 2, got {num_nodes}")
+    params = parameters or WaxmanParameters()
+    params.validate()
+    rng = ensure_rng(seed)
+
+    positions = rng.uniform(0.0, params.domain_size, size=(num_nodes, 2))
+    max_dist = params.domain_size * np.sqrt(2.0)
+
+    # Pairwise distances (vectorised).
+    diff = positions[:, None, :] - positions[None, :, :]
+    dist = np.sqrt((diff**2).sum(axis=2))
+    prob = params.alpha * np.exp(-dist / (params.beta * max_dist))
+
+    edges = set()
+    # Incremental attachment pass: node i (i >= 1) connects to
+    # min_attachment previously-placed nodes chosen proportionally to the
+    # Waxman probability, guaranteeing connectivity like BRITE does.
+    for i in range(1, num_nodes):
+        weights = prob[i, :i].copy()
+        if weights.sum() <= 0:
+            weights = np.ones(i)
+        m = min(params.min_attachment, i)
+        targets = rng.choice(i, size=m, replace=False, p=weights / weights.sum())
+        for t in np.atleast_1d(targets):
+            edges.add((min(i, int(t)), max(i, int(t))))
+
+    # Probabilistic pass over all remaining pairs.
+    upper_u, upper_v = np.triu_indices(num_nodes, k=1)
+    coins = rng.uniform(size=upper_u.shape[0])
+    accept = coins < prob[upper_u, upper_v]
+    for u, v in zip(upper_u[accept], upper_v[accept]):
+        edges.add((int(u), int(v)))
+
+    edge_list = [(u, v, capacity) for (u, v) in sorted(edges)]
+    return PhysicalNetwork(
+        num_nodes, edge_list, default_capacity=capacity, node_positions=positions
+    )

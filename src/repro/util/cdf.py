@@ -1,0 +1,71 @@
+"""Cumulative-distribution helpers used for the paper's figures.
+
+Figures 2, 3, 7, 8, 17 plot the *accumulative rate distribution versus
+normalized tree rank*: trees are sorted by decreasing rate, and the y
+value at normalized rank x is the fraction of the total session rate
+carried by the top x fraction of trees.  Figures 4, 9, 14 plot the link
+utilization ratio against normalized edge rank in the same spirit (but
+without accumulation).  These helpers compute exactly those series.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def cumulative_distribution(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(normalized_rank, cumulative_fraction)`` for ``values``.
+
+    Values are sorted in decreasing order; the cumulative fraction at rank
+    ``i`` is ``sum(values[:i+1]) / sum(values)``.  Ranks are normalised to
+    ``(0, 1]``.  A zero total yields an all-zero cumulative curve.
+    """
+    v = np.asarray(values, dtype=float)
+    if v.ndim != 1:
+        raise ValueError("values must be one-dimensional")
+    if v.size == 0:
+        return np.array([]), np.array([])
+    if np.any(v < 0):
+        raise ValueError("values must be non-negative")
+    order = np.argsort(v)[::-1]
+    sorted_v = v[order]
+    total = sorted_v.sum()
+    cum = np.cumsum(sorted_v)
+    frac = cum / total if total > 0 else np.zeros_like(cum)
+    ranks = np.arange(1, v.size + 1, dtype=float) / v.size
+    return ranks, frac
+
+
+def normalized_rank_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(normalized_rank, sorted_value)`` with values sorted descending.
+
+    This is the presentation used by the link-utilization figures: the
+    x axis is the normalized edge rank and the y axis is the raw
+    utilization ratio of the edge at that rank (no accumulation).
+    """
+    v = np.asarray(values, dtype=float)
+    if v.ndim != 1:
+        raise ValueError("values must be one-dimensional")
+    if v.size == 0:
+        return np.array([]), np.array([])
+    sorted_v = np.sort(v)[::-1]
+    ranks = np.arange(1, v.size + 1, dtype=float) / v.size
+    return ranks, sorted_v
+
+
+def fraction_of_mass_in_top(values: Sequence[float], top_fraction: float) -> float:
+    """Fraction of total mass carried by the top ``top_fraction`` of entries.
+
+    Used to quantify the paper's "asymmetric rate distribution"
+    observation (e.g. "90% of the throughput is concentrated in less than
+    10% of the trees").
+    """
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError("top_fraction must lie in (0, 1]")
+    ranks, frac = cumulative_distribution(values)
+    if ranks.size == 0:
+        return 0.0
+    k = max(1, int(np.ceil(top_fraction * ranks.size)))
+    return float(frac[k - 1])

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications embedding the library can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidNetworkError(ReproError):
+    """A physical network failed validation.
+
+    Raised for non-positive capacities, self-loops, disconnected graphs
+    where connectivity is required, or inconsistent edge indexing.
+    """
+
+
+class InvalidSessionError(ReproError):
+    """An overlay session definition is invalid.
+
+    Raised for sessions with fewer than two members, members that are not
+    vertices of the physical network, duplicate members, or non-positive
+    demands.
+    """
+
+
+class InfeasibleProblemError(ReproError):
+    """A flow problem instance admits no feasible solution.
+
+    For example a maximum concurrent flow instance in which some session's
+    members are disconnected in the physical network.
+    """
+
+
+class ConfigurationError(ReproError):
+    """An algorithm or experiment was configured with invalid parameters.
+
+    Raised for approximation parameters outside ``(0, 1)``, non-positive
+    tree limits, unknown routing model names, and similar user errors.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm exceeded its iteration budget.
+
+    The FPTAS solvers have provable iteration bounds; exceeding the
+    configured safety factor over that bound indicates a bug or a
+    pathological instance and is reported explicitly rather than looping
+    forever.
+    """

@@ -1,0 +1,54 @@
+"""JSON serialisation helpers for experiment results.
+
+Experiment results contain numpy scalars/arrays and dataclasses; these
+helpers convert them into plain JSON-compatible structures so that runs
+can be archived and later diffed against the paper's reported numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serialisable builtins."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(x) for x in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(x) for x in obj]
+    if isinstance(obj, Path):
+        return str(obj)
+    raise TypeError(f"cannot serialise object of type {type(obj)!r} to JSON")
+
+
+def dump_json(obj: Any, path: Union[str, Path], indent: int = 2) -> Path:
+    """Serialise ``obj`` (via :func:`to_jsonable`) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(to_jsonable(obj), fh, indent=indent, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Load JSON content written by :func:`dump_json`."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return json.load(fh)

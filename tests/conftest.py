@@ -1,0 +1,91 @@
+"""Shared fixtures for the test suite.
+
+The fixtures centre on a handful of small, hand-analysable topologies so
+that tests can assert exact optima (diamond / ring / grid) plus one
+seeded Waxman instance for statistical behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.session import Session
+from repro.routing.dynamic import DynamicRouting
+from repro.routing.ip_routing import FixedIPRouting
+from repro.topology.generators import grid_topology, ring_topology
+from repro.topology.network import PhysicalNetwork
+from repro.topology.waxman import waxman_topology
+
+
+@pytest.fixture
+def triangle_network() -> PhysicalNetwork:
+    """Three nodes in a triangle, uniform capacity 10."""
+    return PhysicalNetwork(3, [(0, 1, 10.0), (1, 2, 10.0), (0, 2, 10.0)])
+
+
+@pytest.fixture
+def diamond_network() -> PhysicalNetwork:
+    """Four nodes: 0-1, 1-3, 0-2, 2-3, plus the chord 1-2; capacity 10."""
+    edges = [(0, 1, 10.0), (1, 3, 10.0), (0, 2, 10.0), (2, 3, 10.0), (1, 2, 10.0)]
+    return PhysicalNetwork(4, edges)
+
+
+@pytest.fixture
+def path_network() -> PhysicalNetwork:
+    """A 5-node path 0-1-2-3-4 with capacity 8 on every hop."""
+    return PhysicalNetwork(5, [(i, i + 1, 8.0) for i in range(4)])
+
+
+@pytest.fixture
+def ring6_network() -> PhysicalNetwork:
+    """A 6-node ring with capacity 6."""
+    return ring_topology(6, capacity=6.0)
+
+
+@pytest.fixture
+def grid_network() -> PhysicalNetwork:
+    """A 4x4 grid with capacity 10."""
+    return grid_topology(4, 4, capacity=10.0)
+
+
+@pytest.fixture(scope="session")
+def waxman_network() -> PhysicalNetwork:
+    """A fixed-seed 40-node Waxman topology shared across the session."""
+    return waxman_topology(40, capacity=100.0, seed=7)
+
+
+@pytest.fixture
+def ip_routing(diamond_network) -> FixedIPRouting:
+    """Fixed IP routing over the diamond."""
+    return FixedIPRouting(diamond_network)
+
+
+@pytest.fixture
+def dynamic_routing(diamond_network) -> DynamicRouting:
+    """Dynamic routing over the diamond."""
+    return DynamicRouting(diamond_network)
+
+
+@pytest.fixture
+def diamond_session() -> Session:
+    """A 3-member session on the diamond network."""
+    return Session((0, 1, 3), demand=5.0, name="diamond")
+
+
+@pytest.fixture(scope="session")
+def waxman_routing(waxman_network) -> FixedIPRouting:
+    """Fixed IP routing over the shared Waxman topology."""
+    return FixedIPRouting(waxman_network)
+
+
+@pytest.fixture(scope="session")
+def waxman_sessions(waxman_network) -> list[Session]:
+    """Two deterministic competing sessions on the Waxman topology."""
+    rng = np.random.default_rng(11)
+    members1 = tuple(int(m) for m in rng.choice(waxman_network.num_nodes, 5, replace=False))
+    members2 = tuple(int(m) for m in rng.choice(waxman_network.num_nodes, 4, replace=False))
+    return [
+        Session(members1, demand=100.0, name="s1"),
+        Session(members2, demand=100.0, name="s2"),
+    ]

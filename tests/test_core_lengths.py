@@ -1,0 +1,145 @@
+"""Tests for the exponential length function and FPTAS parameter helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.lengths import (
+    LengthFunction,
+    concurrent_delta_log,
+    epsilon_for_ratio,
+    maxflow_delta_log,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestEpsilonForRatio:
+    def test_maxflow_mapping(self):
+        assert epsilon_for_ratio(0.9, 2.0) == pytest.approx(0.05)
+
+    def test_concurrent_mapping(self):
+        assert epsilon_for_ratio(0.91, 3.0) == pytest.approx(0.03)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ConfigurationError):
+            epsilon_for_ratio(1.0)
+        with pytest.raises(ConfigurationError):
+            epsilon_for_ratio(0.0)
+
+    def test_invalid_slack(self):
+        with pytest.raises(ConfigurationError):
+            epsilon_for_ratio(0.9, 0.0)
+
+
+class TestDeltaLogs:
+    def test_maxflow_delta_formula(self):
+        eps, smax, route = 0.1, 5, 7.0
+        expected = math.log(
+            (1 + eps) ** (1 - 1 / eps) / ((smax - 1) * route) ** (1 / eps)
+        )
+        assert maxflow_delta_log(eps, smax, route) == pytest.approx(expected)
+
+    def test_maxflow_delta_tiny_epsilon_no_overflow(self):
+        # epsilon = 0.005 corresponds to the paper's 0.99 column and would
+        # underflow a direct float computation of delta.
+        value = maxflow_delta_log(0.005, 90, 20.0)
+        assert np.isfinite(value)
+        assert value < -1000
+
+    def test_concurrent_delta_formula(self):
+        eps, edges = 0.1, 200
+        expected = (1 / eps) * math.log((1 - eps) / edges)
+        assert concurrent_delta_log(eps, edges) == pytest.approx(expected)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            maxflow_delta_log(0.0, 5, 3)
+        with pytest.raises(ConfigurationError):
+            maxflow_delta_log(0.1, 1, 3)
+        with pytest.raises(ConfigurationError):
+            maxflow_delta_log(0.1, 5, 0)
+        with pytest.raises(ConfigurationError):
+            concurrent_delta_log(1.5, 10)
+        with pytest.raises(ConfigurationError):
+            concurrent_delta_log(0.1, 0)
+
+
+class TestLengthFunction:
+    def test_maxflow_initialisation(self):
+        lf = LengthFunction.for_maxflow(10, 0.05, 7, 5.0)
+        assert np.allclose(lf.relative, 1.0)
+        assert lf.log_offset == pytest.approx(maxflow_delta_log(0.05, 7, 5.0))
+
+    def test_concurrent_initialisation(self):
+        caps = np.array([1.0, 2.0, 4.0])
+        lf = LengthFunction.for_concurrent(caps, 0.1)
+        assert np.allclose(lf.relative, 1.0 / caps)
+
+    def test_online_initialisation(self):
+        caps = np.array([10.0, 20.0])
+        lf = LengthFunction.for_online(caps)
+        assert lf.log_offset == 0.0
+        assert np.allclose(lf.relative, 1.0 / caps)
+
+    def test_multiply_updates_selected_edges(self):
+        lf = LengthFunction(4, 0.0)
+        lf.multiply(np.array([1, 3]), np.array([2.0, 3.0]))
+        assert np.allclose(lf.relative, [1.0, 2.0, 1.0, 3.0])
+
+    def test_multiply_dense(self):
+        lf = LengthFunction(3, 0.0)
+        lf.multiply_dense(np.array([1.0, 2.0, 4.0]))
+        assert np.allclose(lf.relative, [1.0, 2.0, 4.0])
+
+    def test_multiply_rejects_nonpositive_factor(self):
+        lf = LengthFunction(3, 0.0)
+        with pytest.raises(ConfigurationError):
+            lf.multiply(np.array([0]), np.array([0.0]))
+        with pytest.raises(ConfigurationError):
+            lf.multiply_dense(np.array([1.0, -1.0, 1.0]))
+
+    def test_renormalisation_preserves_absolute_values(self):
+        lf = LengthFunction(2, -5.0)
+        # Grow one edge by a huge factor to force renormalisation.
+        for _ in range(50):
+            lf.multiply(np.array([0]), np.array([1e10]))
+        # Absolute log of edge 0: -5 + 50 * ln(1e10).
+        expected = -5.0 + 50 * math.log(1e10)
+        assert lf.log_value(lf.relative[0]) == pytest.approx(expected, rel=1e-9)
+        assert lf.relative.max() <= 1e200
+
+    def test_at_least_one_threshold(self):
+        lf = LengthFunction(2, math.log(0.5))
+        assert not lf.at_least_one(1.0)  # absolute value 0.5
+        assert lf.at_least_one(2.0)  # absolute value 1.0
+        assert lf.at_least_one(4.0)
+
+    def test_log_value_of_zero(self):
+        lf = LengthFunction(2, 0.0)
+        assert lf.log_value(0.0) == -math.inf
+
+    def test_weighted_sum_log(self):
+        lf = LengthFunction(3, math.log(2.0))
+        weights = np.array([1.0, 2.0, 3.0])
+        expected = math.log(2.0 * weights.sum())
+        assert lf.weighted_sum_log(weights) == pytest.approx(expected)
+
+    def test_copy_is_independent(self):
+        lf = LengthFunction(2, 0.0)
+        clone = lf.copy()
+        lf.multiply(np.array([0]), np.array([5.0]))
+        assert clone.relative[0] == 1.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            LengthFunction(0, 0.0)
+        with pytest.raises(ConfigurationError):
+            LengthFunction(2, 0.0, relative=np.array([1.0, -1.0]))
+        with pytest.raises(ConfigurationError):
+            LengthFunction(2, 0.0, relative=np.array([1.0]))
+
+    def test_relative_view_is_readonly(self):
+        lf = LengthFunction(2, 0.0)
+        with pytest.raises(ValueError):
+            lf.relative[0] = 5.0

@@ -1,0 +1,131 @@
+"""Tests for the MaxFlow FPTAS (paper Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.core.maxflow import MaxFlow, MaxFlowConfig, solve_max_flow
+from repro.lp.exact import exact_max_flow
+from repro.overlay.session import Session
+from repro.routing.dynamic import DynamicRouting
+from repro.routing.ip_routing import FixedIPRouting
+from repro.topology.generators import complete_topology
+from repro.topology.network import PhysicalNetwork
+from repro.util.errors import ConfigurationError
+
+
+class TestConfig:
+    def test_requires_exactly_one_parameter(self):
+        with pytest.raises(ConfigurationError):
+            MaxFlowConfig().resolved_epsilon()
+        with pytest.raises(ConfigurationError):
+            MaxFlowConfig(epsilon=0.1, approximation_ratio=0.9).resolved_epsilon()
+
+    def test_ratio_to_epsilon(self):
+        assert MaxFlowConfig(approximation_ratio=0.9).resolved_epsilon() == pytest.approx(0.05)
+
+    def test_epsilon_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MaxFlowConfig(epsilon=0.6).resolved_epsilon()
+        with pytest.raises(ConfigurationError):
+            MaxFlowConfig(epsilon=0.0).resolved_epsilon()
+
+
+class TestSingleLink:
+    def test_two_member_session(self):
+        net = PhysicalNetwork(2, [(0, 1, 10.0)])
+        solution = solve_max_flow([Session((0, 1))], FixedIPRouting(net), epsilon=0.05)
+        assert solution.is_feasible()
+        assert solution.sessions[0].rate >= 0.9 * 10.0
+        assert solution.sessions[0].rate <= 10.0 + 1e-9
+
+    def test_solution_metadata(self):
+        net = PhysicalNetwork(2, [(0, 1, 10.0)])
+        solution = solve_max_flow([Session((0, 1))], FixedIPRouting(net), epsilon=0.05)
+        assert solution.algorithm == "MaxFlow"
+        assert solution.epsilon == pytest.approx(0.05)
+        assert solution.oracle_calls > 0
+        assert solution.extra["iterations"] > 0
+
+
+class TestAgainstExactLP:
+    @pytest.mark.parametrize("epsilon", [0.1, 0.05])
+    def test_triangle_session(self, epsilon):
+        net = complete_topology(3, capacity=6.0)
+        sessions = [Session((0, 1, 2))]
+        routing = FixedIPRouting(net)
+        exact = exact_max_flow(sessions, routing)
+        approx = solve_max_flow(sessions, routing, epsilon=epsilon)
+        assert approx.is_feasible()
+        rate = approx.sessions[0].rate
+        assert rate <= exact.session_rates[0] + 1e-6
+        assert rate >= (1 - 2 * epsilon) * exact.session_rates[0] - 1e-6
+
+    def test_two_competing_sessions(self, waxman_network):
+        routing = FixedIPRouting(waxman_network)
+        sessions = [
+            Session((0, 4, 9, 13), demand=100.0, name="s1"),
+            Session((2, 7, 20), demand=100.0, name="s2"),
+        ]
+        exact = exact_max_flow(sessions, routing)
+        approx = MaxFlow(sessions, routing, MaxFlowConfig(epsilon=0.05)).solve()
+        assert approx.is_feasible()
+        max_size = max(s.size for s in sessions)
+        objective = sum(
+            (s.session.size - 1) / (max_size - 1) * s.rate for s in approx.sessions
+        )
+        assert objective <= exact.objective + 1e-6
+        assert objective >= (1 - 2 * 0.05) * exact.objective - 1e-6
+
+    def test_prefers_larger_session(self, waxman_network):
+        # The M1 objective favours sessions with more receivers (the paper's
+        # observation in Section III-B).
+        routing = FixedIPRouting(waxman_network)
+        big = Session((0, 4, 9, 13, 17, 22), demand=100.0, name="big")
+        small = Session((2, 7, 20), demand=100.0, name="small")
+        solution = MaxFlow([big, small], routing, MaxFlowConfig(epsilon=0.1)).solve()
+        assert solution.sessions[0].rate >= solution.sessions[1].rate * 0.5
+
+
+class TestBehaviour:
+    def test_capacity_scaling_scales_rate(self):
+        net1 = complete_topology(4, capacity=10.0)
+        net2 = complete_topology(4, capacity=20.0)
+        sessions = [Session((0, 1, 2, 3))]
+        r1 = solve_max_flow(sessions, FixedIPRouting(net1), epsilon=0.1).sessions[0].rate
+        r2 = solve_max_flow(sessions, FixedIPRouting(net2), epsilon=0.1).sessions[0].rate
+        assert r2 == pytest.approx(2 * r1, rel=0.05)
+
+    def test_tighter_epsilon_needs_more_oracle_calls(self, waxman_network):
+        routing = FixedIPRouting(waxman_network)
+        sessions = [Session((0, 4, 9, 13), demand=100.0)]
+        loose = MaxFlow(sessions, routing, MaxFlowConfig(epsilon=0.15)).solve()
+        tight = MaxFlow(sessions, routing, MaxFlowConfig(epsilon=0.05)).solve()
+        assert tight.oracle_calls > loose.oracle_calls
+
+    def test_dynamic_routing_at_least_as_good(self, waxman_network):
+        sessions = [Session((0, 4, 9, 13), demand=100.0)]
+        fixed = solve_max_flow(sessions, FixedIPRouting(waxman_network), epsilon=0.1)
+        dynamic = solve_max_flow(sessions, DynamicRouting(waxman_network), epsilon=0.1)
+        assert dynamic.is_feasible()
+        # Arbitrary routing can only help (up to FPTAS noise).
+        assert dynamic.sessions[0].rate >= fixed.sessions[0].rate * 0.85
+
+    def test_multiple_trees_found(self, waxman_network):
+        routing = FixedIPRouting(waxman_network)
+        sessions = [Session((0, 4, 9, 13), demand=100.0)]
+        solution = solve_max_flow(sessions, routing, epsilon=0.05)
+        assert solution.sessions[0].num_trees > 1
+
+    def test_no_sessions_rejected(self, waxman_network):
+        with pytest.raises(ConfigurationError):
+            MaxFlow([], FixedIPRouting(waxman_network))
+
+    def test_iteration_cap_enforced(self, waxman_network):
+        from repro.util.errors import ConvergenceError
+
+        routing = FixedIPRouting(waxman_network)
+        sessions = [Session((0, 4, 9, 13), demand=100.0)]
+        with pytest.raises(ConvergenceError):
+            MaxFlow(
+                sessions, routing, MaxFlowConfig(epsilon=0.05, max_iterations=3)
+            ).solve()

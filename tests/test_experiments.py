@@ -1,0 +1,204 @@
+"""Tests for the experiment harness (settings, runner, every table/figure)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import (
+    clear_caches,
+    flat_instance,
+    flat_ratio_sweep,
+    limited_tree_study,
+    online_sweep_runs,
+    sweep_instance,
+    sweep_runs,
+)
+from repro.experiments.settings import (
+    flat_setting_for_scale,
+    limited_tree_setting_for_scale,
+    paper_flat_setting,
+    paper_sweep_setting,
+    quick_flat_setting,
+    quick_sweep_setting,
+    sweep_setting_for_scale,
+    tiny_flat_setting,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.serialization import load_json
+
+SCALE = "tiny"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestSettings:
+    def test_scale_resolution(self):
+        assert flat_setting_for_scale("tiny") == tiny_flat_setting()
+        assert flat_setting_for_scale("quick") == quick_flat_setting()
+        assert flat_setting_for_scale("paper") == paper_flat_setting()
+        assert sweep_setting_for_scale("quick") == quick_sweep_setting()
+        assert sweep_setting_for_scale("paper") == paper_sweep_setting()
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            flat_setting_for_scale("huge")
+        with pytest.raises(ConfigurationError):
+            sweep_setting_for_scale("huge")
+        with pytest.raises(ConfigurationError):
+            limited_tree_setting_for_scale("huge")
+
+    def test_flat_setting_builds_consistent_instance(self):
+        setting = tiny_flat_setting()
+        network = setting.build_network()
+        sessions = setting.build_sessions(network)
+        assert len(sessions) == len(setting.session_sizes)
+        for session, size in zip(sessions, setting.session_sizes):
+            assert session.size == size
+            session.validate_against(network)
+
+    def test_flat_setting_routing_kinds(self):
+        setting = tiny_flat_setting()
+        network = setting.build_network()
+        assert not setting.build_routing(network, "ip").is_dynamic
+        assert setting.build_routing(network, "dynamic").is_dynamic
+        with pytest.raises(ConfigurationError):
+            setting.build_routing(network, "bogus")
+
+    def test_sweep_setting_builds_sessions(self):
+        setting = sweep_setting_for_scale("tiny")
+        network = setting.build_network()
+        sessions = setting.build_sessions(network, 2, 3)
+        assert len(sessions) == 2
+        assert all(s.size == 3 for s in sessions)
+
+
+class TestRunner:
+    def test_flat_instance_cached(self):
+        a = flat_instance(SCALE, "ip")
+        b = flat_instance(SCALE, "ip")
+        assert a is b
+
+    def test_flat_ratio_sweep_keys(self):
+        solutions = flat_ratio_sweep(SCALE, "ip", "maxflow")
+        assert set(solutions) == set(flat_setting_for_scale(SCALE).ratios)
+        for solution in solutions.values():
+            assert solution.is_feasible(tolerance=1e-6)
+
+    def test_flat_ratio_sweep_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            flat_ratio_sweep(SCALE, "ip", "bogus")
+
+    def test_limited_tree_study_shapes(self):
+        study = limited_tree_study(SCALE, "ip")
+        setting = limited_tree_setting_for_scale(SCALE)
+        assert [p.tree_limit for p in study.points] == list(setting.tree_limits)
+        for point in study.points:
+            assert point.random_throughput <= study.fractional.overall_throughput + 1e-6
+            for sigma in setting.sigmas:
+                assert point.online_throughput[sigma] > 0
+
+    def test_sweep_runs_cover_grid(self):
+        instance = sweep_instance(SCALE)
+        runs = sweep_runs(SCALE, "maxflow")
+        assert set(runs) == set(instance.sessions)
+        for solution in runs.values():
+            assert solution.is_feasible(tolerance=1e-6)
+
+    def test_online_sweep_runs(self):
+        runs = online_sweep_runs(SCALE, tree_limit=2)
+        assert len(runs) > 0
+        for solution in runs.values():
+            assert solution.is_feasible(tolerance=1e-6)
+
+
+class TestExperimentRegistry:
+    def test_all_paper_artifacts_present(self):
+        expected = {"table2", "table4", "table7", "table8"} | {
+            f"fig{i}" for i in range(2, 20)
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_every_experiment_runs_at_tiny_scale(experiment_id, tmp_path):
+    result = run_experiment(experiment_id, scale=SCALE)
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == experiment_id
+    assert result.scale == SCALE
+    assert result.rendered
+    assert result.data
+    # Results must be JSON-serialisable and round-trip through disk.
+    path = result.save(tmp_path)
+    loaded = load_json(path)
+    assert loaded["experiment_id"] == experiment_id
+
+
+class TestExperimentContent:
+    def test_table2_columns_match_ratios(self):
+        result = run_experiment("table2", scale=SCALE)
+        ratios = flat_setting_for_scale(SCALE).ratios
+        assert set(result.data["columns"]) == {f"{r:g}" for r in ratios}
+        column = next(iter(result.data["columns"].values()))
+        assert "overall_throughput" in column
+        assert "rate_session_1" in column
+
+    def test_table4_reports_prescale_cost(self):
+        result = run_experiment("table4", scale=SCALE)
+        column = next(iter(result.data["columns"].values()))
+        assert "prescale_oracle_calls" in column
+
+    def test_table7_reports_ip_comparison(self):
+        result = run_experiment("table7", scale=SCALE)
+        assert "throughput_improvement_vs_ip" in result.data
+        # Arbitrary routing can only help (within FPTAS noise); the size of
+        # the gain is topology dependent, so only the direction is asserted.
+        for value in result.data["throughput_improvement_vs_ip"].values():
+            assert np.isfinite(value)
+            assert value > -0.15
+
+    def test_fig2_contains_distribution_series(self):
+        result = run_experiment("fig2", scale=SCALE)
+        sessions = result.data["sessions"]
+        assert "session_1" in sessions
+        series = next(iter(sessions["session_1"].values()))
+        assert series["cumulative_fraction"][-1] == pytest.approx(1.0)
+
+    def test_fig5_series_lengths(self):
+        result = run_experiment("fig5", scale=SCALE)
+        limits = result.data["tree_limits"]
+        assert len(result.data["random"]["throughput"]) == len(limits)
+        for series in result.data["online"].values():
+            assert len(series["throughput"]) == len(limits)
+
+    def test_fig12_surface_shape(self):
+        result = run_experiment("fig12", scale=SCALE)
+        counts = result.data["session_counts"]
+        sizes = result.data["session_sizes"]
+        values = np.asarray(result.data["values"])
+        assert values.shape == (len(counts), len(sizes))
+        assert np.all(values > 0)
+
+    def test_fig16_ratios_at_most_one(self):
+        result = run_experiment("fig16", scale=SCALE)
+        values = np.asarray(result.data["values"])
+        # MaxConcurrentFlow can never beat MaxFlow on overall throughput by
+        # more than FPTAS noise.
+        assert np.all(values <= 1.15)
+
+    def test_fig18_and_fig19_ratios_bounded(self):
+        for experiment_id in ("fig18", "fig19"):
+            result = run_experiment(experiment_id, scale=SCALE)
+            for surface in result.data["surfaces"].values():
+                values = np.asarray(surface["values"])
+                assert np.all(values >= 0.0)
+                assert np.all(values <= 1.5)

@@ -1,0 +1,107 @@
+"""Tests for the exact LP baselines (repro.lp.exact)."""
+
+import numpy as np
+import pytest
+
+from repro.lp.exact import (
+    enumerate_session_trees,
+    exact_max_concurrent_flow,
+    exact_max_flow,
+)
+from repro.overlay.session import Session
+from repro.routing.ip_routing import FixedIPRouting
+from repro.topology.generators import complete_topology, ring_topology
+from repro.topology.network import PhysicalNetwork
+from repro.util.errors import ConfigurationError
+
+
+class TestEnumeration:
+    def test_tree_count_and_usage_shape(self, diamond_network):
+        session = Session((0, 1, 3))
+        trees, usage = enumerate_session_trees(session, FixedIPRouting(diamond_network))
+        assert len(trees) == 3
+        assert usage.shape == (3, diamond_network.num_edges)
+        # Every tree of a 3-member session uses at least 2 physical links.
+        assert np.all(usage.sum(axis=1) >= 2)
+
+    def test_member_limit(self, waxman_network):
+        session = Session(tuple(range(7)))
+        with pytest.raises(ConfigurationError):
+            enumerate_session_trees(session, FixedIPRouting(waxman_network), max_members=6)
+
+
+class TestExactMaxFlow:
+    def test_two_node_session_equals_edge_capacity(self):
+        # Two members joined by a single link of capacity 10: the overlay
+        # max flow is exactly 10.
+        net = PhysicalNetwork(2, [(0, 1, 10.0)])
+        solution = exact_max_flow([Session((0, 1))], FixedIPRouting(net))
+        assert solution.objective == pytest.approx(10.0)
+        assert solution.session_rates[0] == pytest.approx(10.0)
+
+    def test_triangle_session_packing_value(self):
+        # A 3-member session on a triangle with unit capacities: the overlay
+        # graph is the triangle itself and the spanning-tree packing value
+        # is 1.5 (Tutte/Nash-Williams).
+        net = complete_topology(3, capacity=1.0)
+        solution = exact_max_flow([Session((0, 1, 2))], FixedIPRouting(net))
+        assert solution.objective == pytest.approx(1.5)
+
+    def test_ring_session_limited_by_shared_links(self):
+        net = ring_topology(4, capacity=4.0)
+        solution = exact_max_flow([Session((0, 2))], FixedIPRouting(net))
+        # The fixed route between opposite ring nodes uses 2 links of one
+        # side only, so the rate is bounded by a single path's capacity.
+        assert solution.session_rates[0] == pytest.approx(4.0)
+
+    def test_objective_weights_by_receivers(self):
+        # Two sessions with different sizes: the M1 objective weights each
+        # session's rate by (|S_i|-1)/(|Smax|-1).
+        net = complete_topology(5, capacity=10.0)
+        s1 = Session((0, 1, 2))  # 2 receivers
+        s2 = Session((3, 4))  # 1 receiver
+        solution = exact_max_flow([s1, s2], FixedIPRouting(net))
+        expected = solution.session_rates[0] + 0.5 * solution.session_rates[1]
+        assert solution.objective == pytest.approx(expected)
+
+    def test_empty_sessions_rejected(self, diamond_network):
+        with pytest.raises(ConfigurationError):
+            exact_max_flow([], FixedIPRouting(diamond_network))
+
+
+class TestExactMaxConcurrent:
+    def test_single_session_lambda(self):
+        net = PhysicalNetwork(2, [(0, 1, 10.0)])
+        solution = exact_max_concurrent_flow(
+            [Session((0, 1), demand=5.0)], FixedIPRouting(net)
+        )
+        assert solution.objective == pytest.approx(2.0)  # 10 / 5
+
+    def test_two_sessions_share_capacity(self):
+        # Two 2-member sessions sharing one link of capacity 10 with equal
+        # demands: each gets 5, lambda = 5 / demand.
+        net = PhysicalNetwork(2, [(0, 1, 10.0)])
+        sessions = [Session((0, 1), demand=2.0, name="a"), Session((0, 1), demand=2.0, name="b")]
+        solution = exact_max_concurrent_flow(sessions, FixedIPRouting(net))
+        assert solution.objective == pytest.approx(2.5)
+        assert np.allclose(solution.session_rates, 5.0)
+
+    def test_demand_weighting(self):
+        # Unequal demands: rates at the optimum are proportional to demands.
+        net = PhysicalNetwork(2, [(0, 1, 12.0)])
+        sessions = [Session((0, 1), demand=1.0), Session((0, 1), demand=2.0)]
+        solution = exact_max_concurrent_flow(sessions, FixedIPRouting(net))
+        assert solution.objective == pytest.approx(4.0)
+        assert solution.session_rates[0] + solution.session_rates[1] == pytest.approx(12.0)
+        assert solution.session_rates[0] * 2 == pytest.approx(solution.session_rates[1], rel=1e-6)
+
+    def test_lambda_never_exceeds_per_session_maxflow(self, waxman_network):
+        routing = FixedIPRouting(waxman_network)
+        sessions = [Session((0, 5, 9), demand=50.0), Session((2, 11, 20), demand=50.0)]
+        concurrent = exact_max_concurrent_flow(sessions, routing)
+        for index, session in enumerate(sessions):
+            alone = exact_max_flow([session], routing)
+            assert (
+                concurrent.objective * session.demand
+                <= alone.session_rates[0] + 1e-6
+            )

@@ -1,0 +1,149 @@
+"""Tests for packing spanning trees (paper Section II-C, Fig. 1)."""
+
+import pytest
+
+from repro.overlay.tree_packing import (
+    best_partition,
+    crossing_weight,
+    enumerate_spanning_trees,
+    iter_partitions,
+    pack_spanning_trees_greedy,
+    pack_spanning_trees_lp,
+    partition_bound,
+    prufer_to_tree,
+)
+from repro.util.errors import ConfigurationError, InvalidSessionError
+
+# The 4-node overlay graph of the paper's Fig. 1: node 0 is the source and
+# the edge weights are the pairwise traffic amounts.
+FIG1_MEMBERS = [0, 1, 2, 3]
+FIG1_WEIGHTS = {
+    (0, 1): 3.0,
+    (0, 2): 3.0,
+    (0, 3): 3.0,
+    (1, 2): 5.0,
+    (1, 3): 1.0,
+    (2, 3): 2.0,
+}
+
+
+class TestPartitions:
+    def test_partition_count_is_bell_number(self):
+        assert sum(1 for _ in iter_partitions([1, 2, 3])) == 5
+        assert sum(1 for _ in iter_partitions([1, 2, 3, 4])) == 15
+
+    def test_empty_partition(self):
+        assert list(iter_partitions([])) == [[]]
+
+    def test_crossing_weight(self):
+        partition = [[0, 1], [2, 3]]
+        value = crossing_weight(partition, FIG1_WEIGHTS)
+        # Crossing edges: (0,2), (0,3), (1,2), (1,3) -> 3 + 3 + 5 + 1 = 12.
+        assert value == pytest.approx(12.0)
+
+    def test_best_partition_value(self):
+        _, value = best_partition(FIG1_MEMBERS, FIG1_WEIGHTS)
+        assert value == pytest.approx(17.0 / 3.0)
+
+    def test_partition_bound_matches(self):
+        assert partition_bound(FIG1_MEMBERS, FIG1_WEIGHTS) == pytest.approx(17.0 / 3.0)
+
+    def test_partition_bound_two_members(self):
+        assert partition_bound([0, 1], {(0, 1): 4.0}) == pytest.approx(4.0)
+
+    def test_too_many_members_rejected(self):
+        with pytest.raises(ConfigurationError):
+            best_partition(list(range(13)), {})
+
+    def test_single_member_rejected(self):
+        with pytest.raises(InvalidSessionError):
+            best_partition([0], {})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(InvalidSessionError):
+            partition_bound([0, 1], {(0, 1): -1.0})
+
+    def test_non_member_weight_rejected(self):
+        with pytest.raises(InvalidSessionError):
+            partition_bound([0, 1], {(0, 5): 1.0})
+
+
+class TestTreeEnumeration:
+    def test_cayley_count(self):
+        assert len(enumerate_spanning_trees([0, 1, 2])) == 3
+        assert len(enumerate_spanning_trees([0, 1, 2, 3])) == 16
+        assert len(enumerate_spanning_trees([4, 7, 9, 11, 20])) == 125
+
+    def test_two_members(self):
+        assert enumerate_spanning_trees([3, 8]) == [((3, 8),)]
+
+    def test_trees_are_distinct(self):
+        trees = enumerate_spanning_trees([0, 1, 2, 3])
+        assert len(set(trees)) == 16
+
+    def test_every_tree_spans(self):
+        for tree in enumerate_spanning_trees([0, 1, 2, 3]):
+            nodes = {u for e in tree for u in e}
+            assert nodes == {0, 1, 2, 3}
+            assert len(tree) == 3
+
+    def test_limit_enforced(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_spanning_trees(list(range(9)))
+
+    def test_prufer_decoding(self):
+        edges = prufer_to_tree([0, 0], [0, 1, 2, 3])
+        assert len(edges) == 3
+        # Prüfer sequence (0, 0) is the star centred at 0.
+        assert sorted(edges) == [(0, 1), (0, 2), (0, 3)]
+
+    def test_prufer_invalid_entry(self):
+        with pytest.raises(InvalidSessionError):
+            prufer_to_tree([9], [0, 1, 2])
+
+
+class TestPacking:
+    def test_lp_matches_tutte_nash_williams(self):
+        value, rates = pack_spanning_trees_lp(FIG1_MEMBERS, FIG1_WEIGHTS)
+        assert value == pytest.approx(partition_bound(FIG1_MEMBERS, FIG1_WEIGHTS), abs=1e-6)
+        # Every returned tree must respect the per-edge weights.
+        usage = {}
+        for tree, rate in rates.items():
+            for edge in tree:
+                usage[edge] = usage.get(edge, 0.0) + rate
+        for edge, total in usage.items():
+            assert total <= FIG1_WEIGHTS[edge] + 1e-6
+
+    def test_lp_on_uniform_triangle(self):
+        weights = {(0, 1): 1.0, (1, 2): 1.0, (0, 2): 1.0}
+        value, _ = pack_spanning_trees_lp([0, 1, 2], weights)
+        assert value == pytest.approx(1.5)
+
+    def test_greedy_integer_example_reaches_paper_value(self):
+        # The paper's Fig. 1 decomposes the session into 3 trees with
+        # aggregate rate 5 (integral packing); the greedy packing must
+        # reach at least that.
+        total, chosen = pack_spanning_trees_greedy(FIG1_MEMBERS, FIG1_WEIGHTS)
+        assert total >= 5.0 - 1e-9
+        assert total <= partition_bound(FIG1_MEMBERS, FIG1_WEIGHTS) + 1e-9
+        assert chosen
+
+    def test_greedy_respects_weights(self):
+        total, chosen = pack_spanning_trees_greedy(FIG1_MEMBERS, FIG1_WEIGHTS)
+        usage = {}
+        for tree, rate in chosen.items():
+            for edge in tree:
+                usage[edge] = usage.get(edge, 0.0) + rate
+        for edge, used in usage.items():
+            assert used <= FIG1_WEIGHTS[edge] + 1e-9
+
+    def test_greedy_zero_weights(self):
+        total, chosen = pack_spanning_trees_greedy([0, 1, 2], {(0, 1): 0.0, (1, 2): 0.0, (0, 2): 0.0})
+        assert total == 0.0
+        assert chosen == {}
+
+    def test_greedy_never_exceeds_lp(self):
+        weights = {(0, 1): 2.0, (0, 2): 1.0, (1, 2): 4.0, (0, 3): 3.0, (1, 3): 1.0, (2, 3): 2.0}
+        lp_value, _ = pack_spanning_trees_lp([0, 1, 2, 3], weights)
+        greedy_value, _ = pack_spanning_trees_greedy([0, 1, 2, 3], weights)
+        assert greedy_value <= lp_value + 1e-9

@@ -1,0 +1,137 @@
+"""Tests for repro.routing.paths and repro.routing.shortest_path."""
+
+import numpy as np
+import pytest
+
+from repro.routing.paths import UnicastPath
+from repro.routing.shortest_path import (
+    pairwise_distances,
+    reconstruct_path,
+    shortest_path_tree,
+    single_pair_shortest_path,
+)
+from repro.topology.network import PhysicalNetwork
+from repro.util.errors import InfeasibleProblemError, InvalidNetworkError
+
+
+class TestUnicastPath:
+    def test_from_nodes(self, diamond_network):
+        path = UnicastPath.from_nodes(diamond_network, [0, 1, 3])
+        assert path.source == 0
+        assert path.destination == 3
+        assert path.hop_count == 2
+        path.validate(diamond_network)
+
+    def test_length_and_bottleneck(self, diamond_network):
+        path = UnicastPath.from_nodes(diamond_network, [0, 1, 3])
+        weights = np.arange(1.0, diamond_network.num_edges + 1)
+        expected = weights[diamond_network.edge_id(0, 1)] + weights[diamond_network.edge_id(1, 3)]
+        assert path.length(weights) == pytest.approx(expected)
+        assert path.bottleneck_capacity(diamond_network.capacities) == 10.0
+
+    def test_trivial_path(self, diamond_network):
+        path = UnicastPath(nodes=(2,), edge_ids=np.empty(0, dtype=np.int64))
+        assert path.hop_count == 0
+        assert path.length(diamond_network.capacities) == 0.0
+        assert path.bottleneck_capacity(diamond_network.capacities) == float("inf")
+
+    def test_edge_count_mismatch_rejected(self):
+        with pytest.raises(InvalidNetworkError):
+            UnicastPath(nodes=(0, 1, 2), edge_ids=np.array([0], dtype=np.int64))
+
+    def test_validate_detects_wrong_edge_index(self, diamond_network):
+        path = UnicastPath(nodes=(0, 1), edge_ids=np.array([diamond_network.edge_id(2, 3)]))
+        with pytest.raises(InvalidNetworkError):
+            path.validate(diamond_network)
+
+    def test_validate_detects_missing_edge(self, diamond_network):
+        path = UnicastPath(nodes=(0, 3), edge_ids=np.array([0]))
+        with pytest.raises(InvalidNetworkError):
+            path.validate(diamond_network)
+
+    def test_validate_detects_repeated_node(self, triangle_network):
+        path = UnicastPath(
+            nodes=(0, 1, 0),
+            edge_ids=np.array(
+                [triangle_network.edge_id(0, 1), triangle_network.edge_id(0, 1)]
+            ),
+        )
+        with pytest.raises(InvalidNetworkError):
+            path.validate(triangle_network)
+
+    def test_len(self, diamond_network):
+        path = UnicastPath.from_nodes(diamond_network, [0, 2, 3])
+        assert len(path) == 3
+
+
+class TestShortestPathTree:
+    def test_hop_metric_distances(self, path_network):
+        distances, _ = shortest_path_tree(path_network, [0])
+        assert distances[0, 4] == pytest.approx(4.0)
+
+    def test_weighted_distances(self, diamond_network):
+        weights = np.ones(diamond_network.num_edges)
+        weights[diamond_network.edge_id(0, 1)] = 10.0
+        distances, _ = shortest_path_tree(diamond_network, [0], weights)
+        # 0->1 now cheaper via 0-2-1 (cost 2) than direct (cost 10).
+        assert distances[0, 1] == pytest.approx(2.0)
+
+    def test_multiple_sources(self, path_network):
+        distances, _ = shortest_path_tree(path_network, [0, 4])
+        assert distances.shape == (2, 5)
+        assert distances[1, 0] == pytest.approx(4.0)
+
+    def test_empty_sources(self, path_network):
+        distances, predecessors = shortest_path_tree(path_network, [])
+        assert distances.shape == (0, 5)
+        assert predecessors.shape == (0, 5)
+
+    def test_zero_weights_clamped(self, diamond_network):
+        weights = np.zeros(diamond_network.num_edges)
+        distances, _ = shortest_path_tree(diamond_network, [0], weights)
+        assert np.all(np.isfinite(distances))
+
+    def test_bad_source_rejected(self, diamond_network):
+        with pytest.raises(InvalidNetworkError):
+            shortest_path_tree(diamond_network, [99])
+
+    def test_negative_weights_rejected(self, diamond_network):
+        with pytest.raises(InvalidNetworkError):
+            shortest_path_tree(diamond_network, [0], -np.ones(diamond_network.num_edges))
+
+
+class TestReconstruction:
+    def test_roundtrip(self, grid_network):
+        distances, predecessors = shortest_path_tree(grid_network, [0])
+        path = reconstruct_path(grid_network, predecessors[0], 0, 15)
+        assert path.source == 0 and path.destination == 15
+        assert path.hop_count == distances[0, 15]
+        path.validate(grid_network)
+
+    def test_source_equals_destination(self, grid_network):
+        _, predecessors = shortest_path_tree(grid_network, [3])
+        path = reconstruct_path(grid_network, predecessors[0], 3, 3)
+        assert path.hop_count == 0
+
+    def test_unreachable_raises(self):
+        net = PhysicalNetwork(4, [(0, 1), (2, 3)])
+        _, predecessors = shortest_path_tree(net, [0])
+        with pytest.raises(InfeasibleProblemError):
+            reconstruct_path(net, predecessors[0], 0, 3)
+
+    def test_single_pair_helper(self, diamond_network):
+        path = single_pair_shortest_path(diamond_network, 0, 3)
+        assert path.hop_count == 2
+
+    def test_single_pair_unreachable(self):
+        net = PhysicalNetwork(4, [(0, 1), (2, 3)])
+        with pytest.raises(InfeasibleProblemError):
+            single_pair_shortest_path(net, 0, 2)
+
+
+class TestPairwiseDistances:
+    def test_submatrix(self, path_network):
+        d = pairwise_distances(path_network, [0, 2, 4])
+        assert d.shape == (3, 3)
+        assert d[0, 2] == pytest.approx(4.0)
+        assert np.allclose(np.diag(d), 0.0)

@@ -1,0 +1,165 @@
+"""Tests for the topology generators (Waxman, BA, hierarchical, deterministic)."""
+
+import numpy as np
+import pytest
+
+from repro.topology.barabasi import barabasi_albert_topology
+from repro.topology.generators import (
+    complete_topology,
+    grid_topology,
+    paper_flat_topology,
+    paper_two_level_topology,
+    random_regular_topology,
+    ring_topology,
+)
+from repro.topology.hierarchical import TwoLevelParameters, two_level_topology
+from repro.topology.waxman import WaxmanParameters, waxman_topology
+from repro.util.errors import ConfigurationError
+
+
+class TestWaxman:
+    def test_connected_and_sized(self):
+        net = waxman_topology(50, capacity=100.0, seed=1)
+        assert net.num_nodes == 50
+        assert net.is_connected()
+        assert np.allclose(net.capacities, 100.0)
+
+    def test_positions_recorded(self):
+        net = waxman_topology(20, seed=2)
+        assert net.node_positions is not None
+        assert net.node_positions.shape == (20, 2)
+
+    def test_deterministic_for_seed(self):
+        a = waxman_topology(30, seed=5)
+        b = waxman_topology(30, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = waxman_topology(30, seed=5)
+        b = waxman_topology(30, seed=6)
+        assert a != b
+
+    def test_alpha_increases_density(self):
+        sparse = waxman_topology(40, parameters=WaxmanParameters(alpha=0.05), seed=3)
+        dense = waxman_topology(40, parameters=WaxmanParameters(alpha=0.9), seed=3)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            waxman_topology(10, parameters=WaxmanParameters(alpha=0.0))
+        with pytest.raises(ConfigurationError):
+            waxman_topology(10, parameters=WaxmanParameters(beta=-1.0))
+        with pytest.raises(ConfigurationError):
+            waxman_topology(10, parameters=WaxmanParameters(min_attachment=0))
+        with pytest.raises(ConfigurationError):
+            waxman_topology(1)
+
+
+class TestBarabasiAlbert:
+    def test_connected_and_sized(self):
+        net = barabasi_albert_topology(60, attachment=2, seed=4)
+        assert net.num_nodes == 60
+        assert net.is_connected()
+
+    def test_minimum_degree(self):
+        net = barabasi_albert_topology(40, attachment=3, seed=1)
+        assert int(net.degrees().min()) >= 3
+
+    def test_heavy_tail(self):
+        net = barabasi_albert_topology(150, attachment=2, seed=0)
+        degrees = net.degrees()
+        assert degrees.max() >= 3 * np.median(degrees)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_topology(5, attachment=0)
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_topology(2, attachment=3)
+
+
+class TestTwoLevel:
+    def test_structure(self):
+        params = TwoLevelParameters(num_ases=3, routers_per_as=8)
+        net = two_level_topology(params, seed=9)
+        assert net.num_nodes == 24
+        assert net.is_connected()
+        levels = net.node_levels
+        assert levels is not None
+        assert set(np.unique(levels)) == {0, 1, 2}
+
+    def test_single_as_degenerates_to_flat(self):
+        params = TwoLevelParameters(num_ases=1, routers_per_as=12)
+        net = two_level_topology(params, seed=9)
+        assert net.num_nodes == 12
+        assert set(np.unique(net.node_levels)) == {0}
+
+    def test_capacities(self):
+        params = TwoLevelParameters(
+            num_ases=2, routers_per_as=6, intra_capacity=50.0, inter_capacity=50.0
+        )
+        net = two_level_topology(params, seed=1)
+        assert np.allclose(net.capacities, 50.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            two_level_topology(TwoLevelParameters(num_ases=0))
+        with pytest.raises(ConfigurationError):
+            two_level_topology(TwoLevelParameters(routers_per_as=1))
+        with pytest.raises(ConfigurationError):
+            two_level_topology(TwoLevelParameters(intra_capacity=-1.0))
+
+
+class TestDeterministicTopologies:
+    def test_grid(self):
+        net = grid_topology(3, 4, capacity=5.0)
+        assert net.num_nodes == 12
+        assert net.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert net.is_connected()
+
+    def test_grid_invalid(self):
+        with pytest.raises(ConfigurationError):
+            grid_topology(1, 1)
+
+    def test_ring(self):
+        net = ring_topology(5)
+        assert net.num_edges == 5
+        assert all(net.degree(i) == 2 for i in net.nodes())
+
+    def test_ring_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ring_topology(2)
+
+    def test_complete(self):
+        net = complete_topology(6)
+        assert net.num_edges == 15
+
+    def test_complete_invalid(self):
+        with pytest.raises(ConfigurationError):
+            complete_topology(1)
+
+    def test_random_regular(self):
+        net = random_regular_topology(20, degree=4, seed=3)
+        assert net.is_connected()
+        assert all(net.degree(i) == 4 for i in net.nodes())
+
+    def test_random_regular_invalid(self):
+        with pytest.raises(ConfigurationError):
+            random_regular_topology(5, degree=1)
+        with pytest.raises(ConfigurationError):
+            random_regular_topology(4, degree=5)
+        with pytest.raises(ConfigurationError):
+            random_regular_topology(5, degree=3)  # odd product
+
+
+class TestPaperTopologies:
+    def test_paper_flat_defaults(self):
+        net = paper_flat_topology(num_nodes=60, seed=1)
+        assert net.num_nodes == 60
+        assert np.allclose(net.capacities, 100.0)
+        assert net.is_connected()
+
+    def test_paper_two_level(self):
+        net = paper_two_level_topology(num_ases=2, routers_per_as=10, seed=1)
+        assert net.num_nodes == 20
+        assert net.node_levels is not None
+        assert net.is_connected()

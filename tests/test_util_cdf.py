@@ -1,0 +1,85 @@
+"""Tests for repro.util.cdf."""
+
+import numpy as np
+import pytest
+
+from repro.util.cdf import (
+    cumulative_distribution,
+    fraction_of_mass_in_top,
+    normalized_rank_cdf,
+)
+
+
+class TestCumulativeDistribution:
+    def test_single_value(self):
+        ranks, frac = cumulative_distribution([5.0])
+        assert ranks.tolist() == [1.0]
+        assert frac.tolist() == [1.0]
+
+    def test_sorted_descending_accumulation(self):
+        ranks, frac = cumulative_distribution([1.0, 3.0, 6.0])
+        # Sorted descending: 6, 3, 1 -> cumulative fractions 0.6, 0.9, 1.0
+        assert np.allclose(frac, [0.6, 0.9, 1.0])
+        assert np.allclose(ranks, [1 / 3, 2 / 3, 1.0])
+
+    def test_final_fraction_is_one(self):
+        values = np.linspace(0.5, 9.0, 17)
+        _, frac = cumulative_distribution(values)
+        assert frac[-1] == pytest.approx(1.0)
+
+    def test_monotone_nondecreasing(self):
+        values = [4.0, 0.0, 2.5, 2.5, 7.0]
+        _, frac = cumulative_distribution(values)
+        assert np.all(np.diff(frac) >= -1e-12)
+
+    def test_empty_input(self):
+        ranks, frac = cumulative_distribution([])
+        assert ranks.size == 0 and frac.size == 0
+
+    def test_all_zero_values(self):
+        _, frac = cumulative_distribution([0.0, 0.0, 0.0])
+        assert np.allclose(frac, 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            cumulative_distribution([1.0, -2.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            cumulative_distribution(np.ones((2, 2)))
+
+
+class TestNormalizedRankCdf:
+    def test_sorted_descending(self):
+        ranks, vals = normalized_rank_cdf([0.2, 0.9, 0.5])
+        assert vals.tolist() == [0.9, 0.5, 0.2]
+        assert np.allclose(ranks, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        ranks, vals = normalized_rank_cdf([])
+        assert ranks.size == 0 and vals.size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            normalized_rank_cdf(np.ones((3, 1)))
+
+
+class TestFractionOfMassInTop:
+    def test_uniform_values(self):
+        assert fraction_of_mass_in_top([1.0] * 10, 0.1) == pytest.approx(0.1)
+
+    def test_concentrated_values(self):
+        values = [100.0] + [1.0] * 9
+        assert fraction_of_mass_in_top(values, 0.1) == pytest.approx(100 / 109)
+
+    def test_full_fraction_returns_one(self):
+        assert fraction_of_mass_in_top([3.0, 2.0, 5.0], 1.0) == pytest.approx(1.0)
+
+    def test_empty_values(self):
+        assert fraction_of_mass_in_top([], 0.5) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            fraction_of_mass_in_top([1.0], 0.0)
+        with pytest.raises(ValueError):
+            fraction_of_mass_in_top([1.0], 1.5)
