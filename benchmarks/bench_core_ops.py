@@ -2,10 +2,16 @@
 
 These complement the per-table/figure benchmarks with the design-choice
 ablations called out in DESIGN.md: oracle cost under fixed versus dynamic
-routing, FPTAS cost versus epsilon, and the online step cost.
+routing, FPTAS cost versus epsilon, the online step cost, and the oracle
+tree-memoization ablation.  The final benchmark writes the repo-root
+``BENCH_core.json`` perf record (quick scale) so the hot-path trajectory
+is tracked across PRs.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -14,9 +20,12 @@ from repro.core.maxflow import MaxFlow, MaxFlowConfig
 from repro.core.online import OnlineConfig, OnlineMinCongestion
 from repro.overlay.oracle import MinimumOverlayTreeOracle
 from repro.overlay.session import Session
+from repro.perf import QUICK_PROFILE, build_perf_instance, write_core_perf_record
 from repro.routing.dynamic import DynamicRouting
 from repro.routing.ip_routing import FixedIPRouting
 from repro.topology.generators import paper_flat_topology
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 @pytest.fixture(scope="module")
@@ -72,3 +81,41 @@ def test_online_acceptance_throughput(benchmark, network, session):
 
     congestion = benchmark.pedantic(accept_batch, rounds=3, iterations=1)
     assert congestion > 0
+
+
+@pytest.mark.parametrize("memoize", [True, False], ids=["memoized", "unmemoized"])
+def test_maxflow_memoization_ablation(run_once, benchmark, memoize):
+    """Ablation: fixed-routing MaxFlow with the oracle tree cache on/off."""
+    benchmark.group = "oracle-cache"
+    network, sessions = build_perf_instance(QUICK_PROFILE)
+    solver = MaxFlow(
+        sessions,
+        FixedIPRouting(network),
+        MaxFlowConfig(approximation_ratio=QUICK_PROFILE.fixed_ratio, memoize=memoize),
+    )
+    solution = run_once(solver.solve)
+    assert solution.oracle_calls > 0
+    if memoize:
+        assert sum(o.cache_hits for o in solver.oracles) > 0
+
+
+def test_emit_bench_core_record(run_once):
+    """Write the repo-root BENCH_core.json perf record (quick scale).
+
+    The record is the PR-over-PR perf trajectory for the oracle fast
+    path (the committed record shows the >=2x memoization speedup on
+    fixed-routing MaxFlow).  Assert structural invariants rather than a
+    wall-clock ratio so the suite does not flake on loaded machines —
+    the measured speedup lands in the emitted record either way.
+    """
+    path = run_once(write_core_perf_record, REPO_ROOT / "BENCH_core.json", scale="quick")
+    record = json.loads(Path(path).read_text())
+    fixed = record["maxflow_fixed"]
+    assert fixed["memoized"]["cache_hits"] > 0
+    assert fixed["memoized"]["oracle_calls"] == fixed["unmemoized"]["oracle_calls"]
+    assert (
+        fixed["memoized"]["overall_throughput"]
+        == fixed["unmemoized"]["overall_throughput"]
+    )
+    assert fixed["memoization_speedup"] > 0
+    assert record["maxflow_dynamic"]["memoized"]["oracle_calls"] > 0

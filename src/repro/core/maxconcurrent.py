@@ -58,12 +58,16 @@ class MaxConcurrentFlowConfig:
     max_steps:
         Hard safety cap on routing steps (``None`` = derive from theory
         with a generous factor).
+    memoize:
+        Oracle tree-construction memoization for both the pre-scaling
+        MaxFlow runs and the main run (``None`` = process default, on).
     """
 
     epsilon: Optional[float] = None
     approximation_ratio: Optional[float] = None
     prescale_epsilon: float = 0.1
     max_steps: Optional[int] = None
+    memoize: Optional[bool] = None
 
     def resolved_epsilon(self) -> float:
         """The epsilon actually used (resolving the ratio form)."""
@@ -109,7 +113,10 @@ class MaxConcurrentFlow:
             solver = MaxFlow(
                 [session],
                 self._routing,
-                MaxFlowConfig(epsilon=self._config.prescale_epsilon),
+                MaxFlowConfig(
+                    epsilon=self._config.prescale_epsilon,
+                    memoize=self._config.memoize,
+                ),
             )
             solution = solver.solve()
             rates[index] = solution.sessions[0].rate
@@ -138,7 +145,9 @@ class MaxConcurrentFlow:
         # Scale demands so the optimal concurrent throughput lies in [1, k].
         working_demands = demands * (zeta / k)
 
-        oracles = build_oracles(self._sessions, self._routing)
+        oracles = build_oracles(
+            self._sessions, self._routing, memoize=self._config.memoize
+        )
         lengths = LengthFunction.for_concurrent(capacities, epsilon)
 
         # Final scaling factor (Lemma 4): divide flows by log_{1+eps}(1/delta).

@@ -49,11 +49,16 @@ class MaxFlowConfig:
     max_iterations:
         Hard safety cap on augmentation iterations.  ``None`` derives the
         provable bound from Lemma 1 with a x10 safety factor.
+    memoize:
+        Oracle tree-construction memoization (``None`` = process default,
+        on).  Purely a performance switch; results are identical either
+        way.
     """
 
     epsilon: Optional[float] = None
     approximation_ratio: Optional[float] = None
     max_iterations: Optional[int] = None
+    memoize: Optional[bool] = None
 
     def resolved_epsilon(self) -> float:
         """The epsilon actually used (resolving the ratio form)."""
@@ -87,7 +92,9 @@ class MaxFlow:
         self._routing = routing
         self._network = routing.network
         self._config = config or MaxFlowConfig(approximation_ratio=0.95)
-        self._oracles = build_oracles(self._sessions, routing)
+        self._oracles = build_oracles(
+            self._sessions, routing, memoize=self._config.memoize
+        )
 
     @property
     def oracles(self) -> Sequence[MinimumOverlayTreeOracle]:

@@ -45,10 +45,15 @@ class OnlineConfig:
         sufficient condition for the Theorem 4 bound.  The scaling only
         affects the routing decisions through the length updates; reported
         rates are always re-expressed in original demand units.
+    memoize:
+        Oracle tree-construction memoization (``None`` = process default,
+        on).  Purely a performance switch; results are identical either
+        way.
     """
 
     sigma: float = 10.0
     apply_no_bottleneck_scaling: bool = False
+    memoize: Optional[bool] = None
 
     def validate(self) -> None:
         if self.sigma <= 0:
@@ -124,7 +129,9 @@ class OnlineMinCongestion:
         key = (tuple(sorted(session.members)), 0.0)
         oracle = self._oracle_cache.get(key)
         if oracle is None:
-            oracle = MinimumOverlayTreeOracle(session, self._routing)
+            oracle = MinimumOverlayTreeOracle(
+                session, self._routing, memoize=self._config.memoize
+            )
             self._oracle_cache[key] = oracle
         return oracle
 
@@ -203,11 +210,15 @@ class OnlineMinCongestion:
             entries = groups[key]
             base_session = entries[0][0]
             total_demand = sum(d for _, _, d in entries)
+            # Strip the "#<i>" replica suffix appended by Session.replicate.
+            # rsplit keeps base names that themselves start with "#" intact
+            # (a plain split("#")[0] would yield "" and fall back to the
+            # full name, replica suffix included).
             representative = Session(
                 base_session.members,
                 demand=total_demand,
                 source=base_session.source,
-                name=base_session.name.split("#")[0] or base_session.name,
+                name=base_session.name.rsplit("#", 1)[0] or base_session.name,
             )
             tree_flows: Dict[Tuple, TreeFlow] = {}
             for _, tree, demand in entries:

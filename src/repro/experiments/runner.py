@@ -5,12 +5,21 @@ Table II, Fig 2 and Fig 4 all read the MaxFlow ratio sweep; Figs 12–19
 all read the Section VI sweep).  This module performs those runs once per
 process and caches the results, keyed by scale / routing kind / algorithm,
 so that generating every figure does not re-solve identical instances.
+
+Every sweep is a grid of mutually independent configuration cells (one
+ratio, one (session count, session size) point, one tree limit), each
+deterministically seeded from the setting, so the sweeps also support a
+process-pool parallel mode: pass ``jobs=`` to a sweep function, export
+``REPRO_JOBS``, or use the section CLIs' ``--jobs`` flag.  Parallel runs
+produce bit-identical results to serial ones — each worker rebuilds the
+(deterministic) instance from the scale name and solves whole cells.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +34,7 @@ from repro.experiments.settings import (
     SweepSetting,
     flat_setting_for_scale,
     limited_tree_setting_for_scale,
+    resolve_jobs,
     sweep_setting_for_scale,
 )
 from repro.overlay.session import Session
@@ -32,6 +42,19 @@ from repro.routing.base import RoutingModel
 from repro.topology.network import PhysicalNetwork
 from repro.util.errors import ConfigurationError
 from repro.util.rng import ensure_rng, spawn_rngs
+
+
+def _map_cells(worker: Callable, tasks: Sequence[Tuple], jobs: Optional[int]) -> List:
+    """Run ``worker`` over ``tasks`` serially or on a process pool.
+
+    ``worker`` must be a module-level function and every task a picklable
+    tuple; results come back in task order either way.
+    """
+    workers = min(resolve_jobs(jobs), len(tasks))
+    if workers <= 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(worker, tasks))
 
 # ----------------------------------------------------------------------
 # flat (Sections III–V) runs
@@ -50,6 +73,7 @@ class FlatInstance:
 _FLAT_INSTANCES: Dict[Tuple[str, str], FlatInstance] = {}
 _FLAT_SWEEPS: Dict[Tuple[str, str, str], Dict[float, FlowSolution]] = {}
 _LIMITED_TREE_STUDIES: Dict[Tuple[str, str], "LimitedTreeStudy"] = {}
+_LIMITED_TREE_FRACTIONALS: Dict[Tuple[str, str], FlowSolution] = {}
 
 
 def clear_caches() -> None:
@@ -57,6 +81,7 @@ def clear_caches() -> None:
     _FLAT_INSTANCES.clear()
     _FLAT_SWEEPS.clear()
     _LIMITED_TREE_STUDIES.clear()
+    _LIMITED_TREE_FRACTIONALS.clear()
     _SWEEP_INSTANCES.clear()
     _SWEEP_RUNS.clear()
     _ONLINE_SWEEP_RUNS.clear()
@@ -80,39 +105,46 @@ def flat_instance(scale: str, routing_kind: str = "ip") -> FlatInstance:
     return _FLAT_INSTANCES[key]
 
 
+def _solve_flat_cell(task: Tuple[str, str, str, float]) -> FlowSolution:
+    """Solve one (scale, routing kind, algorithm, ratio) flat cell."""
+    scale, routing_kind, algorithm, ratio = task
+    instance = flat_instance(scale, routing_kind)
+    setting = instance.setting
+    if algorithm == "maxflow":
+        solver = MaxFlow(
+            instance.sessions,
+            instance.routing,
+            MaxFlowConfig(approximation_ratio=ratio),
+        )
+    else:
+        solver = MaxConcurrentFlow(
+            instance.sessions,
+            instance.routing,
+            MaxConcurrentFlowConfig(
+                approximation_ratio=ratio,
+                prescale_epsilon=setting.prescale_epsilon,
+            ),
+        )
+    return solver.solve()
+
+
 def flat_ratio_sweep(
-    scale: str, routing_kind: str, algorithm: str
+    scale: str, routing_kind: str, algorithm: str, jobs: Optional[int] = None
 ) -> Dict[float, FlowSolution]:
     """Solve the flat instance for every approximation ratio of the setting.
 
     ``algorithm`` is ``"maxflow"`` or ``"maxconcurrent"``.  Results are
-    cached per (scale, routing kind, algorithm).
+    cached per (scale, routing kind, algorithm); ``jobs`` controls how
+    many ratio cells solve concurrently on an uncached first call.
     """
     if algorithm not in ("maxflow", "maxconcurrent"):
         raise ConfigurationError(f"unknown algorithm {algorithm!r}")
     key = (scale, routing_kind, algorithm)
     if key not in _FLAT_SWEEPS:
-        instance = flat_instance(scale, routing_kind)
-        setting = instance.setting
-        solutions: Dict[float, FlowSolution] = {}
-        for ratio in setting.ratios:
-            if algorithm == "maxflow":
-                solver = MaxFlow(
-                    instance.sessions,
-                    instance.routing,
-                    MaxFlowConfig(approximation_ratio=ratio),
-                )
-            else:
-                solver = MaxConcurrentFlow(
-                    instance.sessions,
-                    instance.routing,
-                    MaxConcurrentFlowConfig(
-                        approximation_ratio=ratio,
-                        prescale_epsilon=setting.prescale_epsilon,
-                    ),
-                )
-            solutions[ratio] = solver.solve()
-        _FLAT_SWEEPS[key] = solutions
+        setting = flat_instance(scale, routing_kind).setting
+        tasks = [(scale, routing_kind, algorithm, ratio) for ratio in setting.ratios]
+        results = _map_cells(_solve_flat_cell, tasks, jobs)
+        _FLAT_SWEEPS[key] = dict(zip(setting.ratios, results))
     return _FLAT_SWEEPS[key]
 
 
@@ -155,92 +187,116 @@ class LimitedTreeStudy:
         return out
 
 
-def limited_tree_study(scale: str, routing_kind: str = "ip") -> LimitedTreeStudy:
+def _limited_tree_fractional(scale: str, routing_kind: str) -> FlowSolution:
+    """The (cached) fractional MaxConcurrentFlow reference solution."""
+    key = (scale, routing_kind)
+    if key not in _LIMITED_TREE_FRACTIONALS:
+        instance = flat_instance(scale, routing_kind)
+        setting = limited_tree_setting_for_scale(scale)
+        _LIMITED_TREE_FRACTIONALS[key] = MaxConcurrentFlow(
+            instance.sessions,
+            instance.routing,
+            MaxConcurrentFlowConfig(
+                approximation_ratio=setting.fractional_ratio,
+                prescale_epsilon=instance.setting.prescale_epsilon,
+            ),
+        ).solve()
+    return _LIMITED_TREE_FRACTIONALS[key]
+
+
+def _solve_limited_tree_point(
+    task: Tuple[str, str, int, FlowSolution]
+) -> LimitedTreePoint:
+    """Measure one tree-limit cell (rounding trials + online orderings).
+
+    Every random draw is seeded from ``setting.seed + limit``, so cells
+    are independent of each other and of execution order.  The shared
+    fractional solution travels in the task payload so pool workers
+    never re-solve it, whatever the multiprocessing start method.
+    """
+    scale, routing_kind, limit, fractional = task
+    instance = flat_instance(scale, routing_kind)
+    setting = limited_tree_setting_for_scale(scale)
+    num_sessions = len(instance.sessions)
+
+    # Randomized rounding, averaged over trials.
+    rounding = RandomMinCongestion(fractional, seed=setting.seed)
+    random_stats = rounding.average_over_trials(
+        limit, setting.rounding_trials, seed=setting.seed + limit
+    )
+    random_rates = [
+        random_stats[f"mean_rate_session_{i + 1}"] for i in range(num_sessions)
+    ]
+    random_trees = [
+        random_stats[f"mean_trees_session_{i + 1}"] for i in range(num_sessions)
+    ]
+
+    # Online algorithm: replicate each session `limit` times, average
+    # over random arrival orderings, per sigma.
+    online_throughput: Dict[float, float] = {}
+    online_min_rate: Dict[float, float] = {}
+    online_rates: Dict[float, List[float]] = {}
+    online_trees: Dict[float, List[float]] = {}
+    for sigma in setting.sigmas:
+        rngs = spawn_rngs(setting.seed + limit, setting.online_orderings)
+        throughputs = []
+        min_rates = []
+        rates_acc = np.zeros(num_sessions)
+        trees_acc = np.zeros(num_sessions)
+        for rng in rngs:
+            arrivals: List[Session] = []
+            for session in instance.sessions:
+                arrivals.extend(session.replicate(limit, demand=1.0))
+            order = rng.permutation(len(arrivals))
+            ordered = [arrivals[i] for i in order]
+            solver = OnlineMinCongestion(
+                instance.routing, OnlineConfig(sigma=sigma)
+            )
+            solver.accept_all(ordered)
+            solution = solver.solution(group_by_members=True)
+            throughputs.append(solution.overall_throughput)
+            min_rates.append(solution.min_rate)
+            # Align grouped results back to the original session order.
+            by_members = {
+                tuple(sorted(s.session.members)): s for s in solution.sessions
+            }
+            for index, session in enumerate(instance.sessions):
+                grouped = by_members[tuple(sorted(session.members))]
+                rates_acc[index] += grouped.rate
+                trees_acc[index] += grouped.num_trees
+        count = float(len(rngs))
+        online_throughput[sigma] = float(np.mean(throughputs))
+        online_min_rate[sigma] = float(np.mean(min_rates))
+        online_rates[sigma] = list(rates_acc / count)
+        online_trees[sigma] = list(trees_acc / count)
+
+    return LimitedTreePoint(
+        tree_limit=limit,
+        random_throughput=random_stats["mean_throughput"],
+        random_min_rate=random_stats["mean_min_rate"],
+        random_session_rates=random_rates,
+        random_trees_used=random_trees,
+        online_throughput=online_throughput,
+        online_min_rate=online_min_rate,
+        online_session_rates=online_rates,
+        online_trees_used=online_trees,
+    )
+
+
+def limited_tree_study(
+    scale: str, routing_kind: str = "ip", jobs: Optional[int] = None
+) -> LimitedTreeStudy:
     """Run (or fetch) the Random/Online versus tree-limit study."""
     key = (scale, routing_kind)
     if key in _LIMITED_TREE_STUDIES:
         return _LIMITED_TREE_STUDIES[key]
 
-    instance = flat_instance(scale, routing_kind)
     setting = limited_tree_setting_for_scale(scale)
-
-    fractional = MaxConcurrentFlow(
-        instance.sessions,
-        instance.routing,
-        MaxConcurrentFlowConfig(
-            approximation_ratio=setting.fractional_ratio,
-            prescale_epsilon=instance.setting.prescale_epsilon,
-        ),
-    ).solve()
-
-    rounding = RandomMinCongestion(fractional, seed=setting.seed)
-    points: List[LimitedTreePoint] = []
-    num_sessions = len(instance.sessions)
-
-    for limit in setting.tree_limits:
-        # Randomized rounding, averaged over trials.
-        random_stats = rounding.average_over_trials(
-            limit, setting.rounding_trials, seed=setting.seed + limit
-        )
-        random_rates = [
-            random_stats[f"mean_rate_session_{i + 1}"] for i in range(num_sessions)
-        ]
-        random_trees = [
-            random_stats[f"mean_trees_session_{i + 1}"] for i in range(num_sessions)
-        ]
-
-        # Online algorithm: replicate each session `limit` times, average
-        # over random arrival orderings, per sigma.
-        online_throughput: Dict[float, float] = {}
-        online_min_rate: Dict[float, float] = {}
-        online_rates: Dict[float, List[float]] = {}
-        online_trees: Dict[float, List[float]] = {}
-        for sigma in setting.sigmas:
-            rngs = spawn_rngs(setting.seed + limit, setting.online_orderings)
-            throughputs = []
-            min_rates = []
-            rates_acc = np.zeros(num_sessions)
-            trees_acc = np.zeros(num_sessions)
-            for rng in rngs:
-                arrivals: List[Session] = []
-                for session in instance.sessions:
-                    arrivals.extend(session.replicate(limit, demand=1.0))
-                order = rng.permutation(len(arrivals))
-                ordered = [arrivals[i] for i in order]
-                solver = OnlineMinCongestion(
-                    instance.routing, OnlineConfig(sigma=sigma)
-                )
-                solver.accept_all(ordered)
-                solution = solver.solution(group_by_members=True)
-                throughputs.append(solution.overall_throughput)
-                min_rates.append(solution.min_rate)
-                # Align grouped results back to the original session order.
-                by_members = {
-                    tuple(sorted(s.session.members)): s for s in solution.sessions
-                }
-                for index, session in enumerate(instance.sessions):
-                    grouped = by_members[tuple(sorted(session.members))]
-                    rates_acc[index] += grouped.rate
-                    trees_acc[index] += grouped.num_trees
-            count = float(len(rngs))
-            online_throughput[sigma] = float(np.mean(throughputs))
-            online_min_rate[sigma] = float(np.mean(min_rates))
-            online_rates[sigma] = list(rates_acc / count)
-            online_trees[sigma] = list(trees_acc / count)
-
-        points.append(
-            LimitedTreePoint(
-                tree_limit=limit,
-                random_throughput=random_stats["mean_throughput"],
-                random_min_rate=random_stats["mean_min_rate"],
-                random_session_rates=random_rates,
-                random_trees_used=random_trees,
-                online_throughput=online_throughput,
-                online_min_rate=online_min_rate,
-                online_session_rates=online_rates,
-                online_trees_used=online_trees,
-            )
-        )
+    fractional = _limited_tree_fractional(scale, routing_kind)
+    tasks = [
+        (scale, routing_kind, limit, fractional) for limit in setting.tree_limits
+    ]
+    points = _map_cells(_solve_limited_tree_point, tasks, jobs)
 
     study = LimitedTreeStudy(setting=setting, fractional=fractional, points=points)
     _LIMITED_TREE_STUDIES[key] = study
@@ -281,54 +337,78 @@ def sweep_instance(scale: str) -> SweepInstance:
     return _SWEEP_INSTANCES[scale]
 
 
-def sweep_runs(scale: str, algorithm: str) -> Dict[Tuple[int, int], FlowSolution]:
+def _solve_sweep_cell(task: Tuple[str, str, Tuple[int, int]]) -> FlowSolution:
+    """Solve one (scale, algorithm, grid point) Section VI cell."""
+    scale, algorithm, grid_point = task
+    instance = sweep_instance(scale)
+    setting = instance.setting
+    sessions = instance.sessions[grid_point]
+    if algorithm == "maxflow":
+        solver = MaxFlow(
+            sessions,
+            instance.routing,
+            MaxFlowConfig(approximation_ratio=setting.ratio),
+        )
+    else:
+        solver = MaxConcurrentFlow(
+            sessions,
+            instance.routing,
+            MaxConcurrentFlowConfig(
+                approximation_ratio=setting.ratio,
+                prescale_epsilon=setting.prescale_epsilon,
+            ),
+        )
+    return solver.solve()
+
+
+def sweep_runs(
+    scale: str, algorithm: str, jobs: Optional[int] = None
+) -> Dict[Tuple[int, int], FlowSolution]:
     """MaxFlow or MaxConcurrentFlow over the whole (sessions x size) grid."""
     if algorithm not in ("maxflow", "maxconcurrent"):
         raise ConfigurationError(f"unknown algorithm {algorithm!r}")
     key = (scale, algorithm)
     if key not in _SWEEP_RUNS:
         instance = sweep_instance(scale)
-        setting = instance.setting
-        runs: Dict[Tuple[int, int], FlowSolution] = {}
-        for grid_point, sessions in instance.sessions.items():
-            if algorithm == "maxflow":
-                solver = MaxFlow(
-                    sessions,
-                    instance.routing,
-                    MaxFlowConfig(approximation_ratio=setting.ratio),
-                )
-            else:
-                solver = MaxConcurrentFlow(
-                    sessions,
-                    instance.routing,
-                    MaxConcurrentFlowConfig(
-                        approximation_ratio=setting.ratio,
-                        prescale_epsilon=setting.prescale_epsilon,
-                    ),
-                )
-            runs[grid_point] = solver.solve()
-        _SWEEP_RUNS[key] = runs
+        grid_points = list(instance.sessions)
+        tasks = [(scale, algorithm, gp) for gp in grid_points]
+        results = _map_cells(_solve_sweep_cell, tasks, jobs)
+        _SWEEP_RUNS[key] = dict(zip(grid_points, results))
     return _SWEEP_RUNS[key]
 
 
-def online_sweep_runs(scale: str, tree_limit: int) -> Dict[Tuple[int, int], FlowSolution]:
+def _solve_online_cell(task: Tuple[str, int, Tuple[int, int]]) -> FlowSolution:
+    """Route one grid point's replicated arrival sequence online.
+
+    The arrival ordering is seeded per grid point, so cells are
+    independent of each other and of execution order.
+    """
+    scale, tree_limit, grid_point = task
+    instance = sweep_instance(scale)
+    setting = instance.setting
+    sessions = instance.sessions[grid_point]
+    rng = ensure_rng(setting.seed + grid_point[0] * 37 + grid_point[1])
+    arrivals: List[Session] = []
+    for session in sessions:
+        arrivals.extend(session.replicate(tree_limit, demand=setting.demand))
+    order = rng.permutation(len(arrivals))
+    ordered = [arrivals[i] for i in order]
+    solver = OnlineMinCongestion(
+        instance.routing, OnlineConfig(sigma=setting.online_sigma)
+    )
+    solver.accept_all(ordered)
+    return solver.solution(group_by_members=True)
+
+
+def online_sweep_runs(
+    scale: str, tree_limit: int, jobs: Optional[int] = None
+) -> Dict[Tuple[int, int], FlowSolution]:
     """Online algorithm over the grid with each session replicated ``tree_limit`` times."""
     key = (scale, tree_limit)
     if key not in _ONLINE_SWEEP_RUNS:
         instance = sweep_instance(scale)
-        setting = instance.setting
-        runs: Dict[Tuple[int, int], FlowSolution] = {}
-        for grid_point, sessions in instance.sessions.items():
-            rng = ensure_rng(setting.seed + grid_point[0] * 37 + grid_point[1])
-            arrivals: List[Session] = []
-            for session in sessions:
-                arrivals.extend(session.replicate(tree_limit, demand=setting.demand))
-            order = rng.permutation(len(arrivals))
-            ordered = [arrivals[i] for i in order]
-            solver = OnlineMinCongestion(
-                instance.routing, OnlineConfig(sigma=setting.online_sigma)
-            )
-            solver.accept_all(ordered)
-            runs[grid_point] = solver.solution(group_by_members=True)
-        _ONLINE_SWEEP_RUNS[key] = runs
+        grid_points = list(instance.sessions)
+        tasks = [(scale, tree_limit, gp) for gp in grid_points]
+        results = _map_cells(_solve_online_cell, tasks, jobs)
+        _ONLINE_SWEEP_RUNS[key] = dict(zip(grid_points, results))
     return _ONLINE_SWEEP_RUNS[key]

@@ -194,7 +194,15 @@ def fig4(scale: str = "quick", routing_kind: str = "ip") -> ExperimentResult:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
-    for result in (table2(), table4(), fig2(), fig3(), fig4()):
+    from repro.experiments.settings import configure_jobs, experiment_cli_parser
+
+    args = experiment_cli_parser(
+        "Section III experiments (Tables II/IV, Figs 2-4)"
+    ).parse_args()
+    if args.jobs is not None:
+        configure_jobs(args.jobs)
+    scale = args.scale
+    for result in (table2(scale), table4(scale), fig2(scale), fig3(scale), fig4(scale)):
         print(result)
         print()
 

@@ -111,7 +111,14 @@ def fig6(scale: str = "quick", routing_kind: str = "ip") -> ExperimentResult:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
-    for result in (fig5(), fig6()):
+    from repro.experiments.settings import configure_jobs, experiment_cli_parser
+
+    args = experiment_cli_parser(
+        "Section IV experiments (Figs 5-6, limited-tree study)"
+    ).parse_args()
+    if args.jobs is not None:
+        configure_jobs(args.jobs)
+    for result in (fig5(args.scale), fig6(args.scale)):
         print(result)
         print()
 

@@ -98,7 +98,23 @@ def fig11(scale: str = "quick") -> ExperimentResult:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
-    for result in (table7(), table8(), fig7(), fig8(), fig9(), fig10(), fig11()):
+    from repro.experiments.settings import configure_jobs, experiment_cli_parser
+
+    args = experiment_cli_parser(
+        "Section V experiments (Tables VII/VIII, Figs 7-11, arbitrary routing)"
+    ).parse_args()
+    if args.jobs is not None:
+        configure_jobs(args.jobs)
+    scale = args.scale
+    for result in (
+        table7(scale),
+        table8(scale),
+        fig7(scale),
+        fig8(scale),
+        fig9(scale),
+        fig10(scale),
+        fig11(scale),
+    ):
         print(result)
         print()
 

@@ -272,7 +272,24 @@ def fig19(scale: str = "quick") -> ExperimentResult:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
-    for result in (fig12(), fig13(), fig14(), fig15(), fig16(), fig17(), fig18(), fig19()):
+    from repro.experiments.settings import configure_jobs, experiment_cli_parser
+
+    args = experiment_cli_parser(
+        "Section VI experiments (Figs 12-19, two-level sweep)"
+    ).parse_args()
+    if args.jobs is not None:
+        configure_jobs(args.jobs)
+    scale = args.scale
+    for result in (
+        fig12(scale),
+        fig13(scale),
+        fig14(scale),
+        fig15(scale),
+        fig16(scale),
+        fig17(scale),
+        fig18(scale),
+        fig19(scale),
+    ):
         print(result)
         print()
 

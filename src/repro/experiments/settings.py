@@ -17,8 +17,9 @@ recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.overlay.session import Session, random_session
 from repro.routing.base import RoutingModel
@@ -269,3 +270,93 @@ def sweep_setting_for_scale(scale: str) -> SweepSetting:
     if scale == "paper":
         return paper_sweep_setting()
     raise ConfigurationError(f"unknown scale {scale!r}; use 'tiny', 'quick' or 'paper'")
+
+
+# ----------------------------------------------------------------------
+# execution settings (parallel sweep runs)
+# ----------------------------------------------------------------------
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+_configured_jobs: Optional[int] = None
+
+
+def configure_jobs(jobs: Optional[int]) -> Optional[int]:
+    """Set the process-wide default worker count for experiment sweeps.
+
+    This is the programmatic face of the ``--jobs`` CLI knob: the section
+    CLIs call it once at startup and every sweep in the process picks it
+    up.  A configured value takes precedence over the ``REPRO_JOBS``
+    environment variable — an explicit flag must win over ambient
+    environment.  ``0`` means "all CPU cores"; ``None`` clears the
+    configured value.  Returns the previous configured value (``None``
+    if unset), suitable for restoring.
+    """
+    global _configured_jobs
+    previous = _configured_jobs
+    _configured_jobs = None if jobs is None else _validate_jobs(jobs)
+    return previous
+
+
+def default_jobs() -> int:
+    """Default sweep parallelism.
+
+    Precedence: :func:`configure_jobs` value (the CLI flag), then the
+    ``REPRO_JOBS`` env var, then 1 (serial).
+    """
+    if _configured_jobs is not None:
+        return _configured_jobs
+    env = os.environ.get(JOBS_ENV_VAR)
+    if env is not None:
+        try:
+            return _validate_jobs(int(env))
+        except ValueError:
+            raise ConfigurationError(
+                f"{JOBS_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+    return 1
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a ``--jobs`` value to a concrete worker count (``>= 1``).
+
+    ``None`` falls back to :func:`default_jobs`; ``0`` means "all CPU
+    cores"; negative values are rejected.
+    """
+    jobs = default_jobs() if jobs is None else _validate_jobs(jobs)
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _validate_jobs(jobs: int) -> int:
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
+    return jobs
+
+
+def experiment_cli_parser(description: str):
+    """Argparse parser with the shared ``--scale`` / ``--jobs`` knobs.
+
+    Used by the ``repro.experiments.sectionN`` CLIs; callers should pass
+    ``args.jobs`` to :func:`configure_jobs` when it is not ``None``.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        choices=("tiny", "quick", "paper"),
+        help="experiment scale preset (default: quick)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for independent sweep cells "
+            f"(0 = all CPU cores; default: ${JOBS_ENV_VAR} or 1)"
+        ),
+    )
+    return parser

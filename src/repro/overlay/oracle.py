@@ -17,6 +17,18 @@ oracle call runs Dijkstra from each member and reconstructs only the
 The oracle also counts its own invocations; the paper's Tables II and IV
 report running time as "number of MST operations", and we reproduce that
 column from these counters.
+
+**Tree memoization.**  The paper's "number of trees" tables show that a
+run concentrates its flow on a handful of distinct trees even though it
+performs thousands of MST operations, so the same tree is rebuilt over
+and over.  Under fixed IP routing the tree is fully determined by the
+MST's overlay-edge index pairs; under dynamic routing it is determined by
+those pairs plus the node sequences of the chosen shortest paths.  The
+oracle keys a per-session cache on exactly that, so repeated trees skip
+:meth:`OverlayTree.from_paths` (the union-find spanning-tree check and
+the ``np.add.at`` usage accumulation) entirely.  ``call_count`` — the
+paper's "MST operations" metric — is incremented on cache hits exactly as
+before, and cached results are bit-identical to freshly built ones.
 """
 
 from __future__ import annotations
@@ -51,6 +63,29 @@ class OracleResult:
     length: float
 
 
+_MEMOIZE_TREES_DEFAULT = True
+
+
+def configure_tree_memoization(enabled: bool) -> bool:
+    """Set the process-wide default for oracle tree memoization.
+
+    Returns the previous default.  Oracles resolve the default at
+    construction time; existing oracles are unaffected.  Memoization
+    never changes results (cached trees are the exact objects a fresh
+    construction would produce) — the switch exists for equivalence
+    tests and perf ablations.
+    """
+    global _MEMOIZE_TREES_DEFAULT
+    previous = _MEMOIZE_TREES_DEFAULT
+    _MEMOIZE_TREES_DEFAULT = bool(enabled)
+    return previous
+
+
+def tree_memoization_default() -> bool:
+    """Current process-wide default for oracle tree memoization."""
+    return _MEMOIZE_TREES_DEFAULT
+
+
 class MinimumOverlayTreeOracle:
     """Minimum overlay spanning tree computation for one session.
 
@@ -61,18 +96,33 @@ class MinimumOverlayTreeOracle:
     routing:
         Either a :class:`FixedIPRouting` (paper Sections II–IV) or a
         :class:`DynamicRouting` (Section V) instance.
+    memoize:
+        Cache constructed trees keyed by their defining data (overlay
+        index pairs, plus path node sequences under dynamic routing).
+        ``None`` uses the process-wide default (on).
     """
 
-    def __init__(self, session: Session, routing: RoutingModel) -> None:
+    def __init__(
+        self,
+        session: Session,
+        routing: RoutingModel,
+        memoize: Optional[bool] = None,
+    ) -> None:
         session.validate_against(routing.network)
         self._session = session
         self._routing = routing
         self._network = routing.network
         self._members = list(session.members)
         self._call_count = 0
+        self._memoize = _MEMOIZE_TREES_DEFAULT if memoize is None else bool(memoize)
+        self._tree_cache: Dict[Tuple, OverlayTree] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
 
         n = len(self._members)
         self._triu_rows, self._triu_cols = np.triu_indices(n, k=1)
+        # Preallocated symmetric MST weight matrix, refilled per call.
+        self._weight = np.zeros((n, n), dtype=float)
 
         if isinstance(routing, FixedIPRouting):
             self._fixed = True
@@ -118,6 +168,35 @@ class MinimumOverlayTreeOracle:
         """Reset the MST-operation counter (used between experiment stages)."""
         self._call_count = 0
 
+    @property
+    def memoize(self) -> bool:
+        """Whether tree construction memoization is enabled."""
+        return self._memoize
+
+    @property
+    def cache_hits(self) -> int:
+        """Oracle calls that reused a previously constructed tree."""
+        return self._cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Oracle calls that had to construct a new tree (memoized mode)."""
+        return self._cache_misses
+
+    def cache_info(self) -> Dict[str, int]:
+        """Memoization counters (hits, misses, distinct cached trees)."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._tree_cache),
+        }
+
+    def clear_tree_cache(self) -> None:
+        """Drop all cached trees and reset the hit/miss counters."""
+        self._tree_cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
     def max_route_length(self) -> int:
         """``U`` — the longest unicast route (in hops) among member pairs."""
         return self._routing.max_route_hops(self._members)
@@ -142,31 +221,59 @@ class MinimumOverlayTreeOracle:
         self._call_count += 1
         lengths = np.asarray(edge_lengths, dtype=float)
         members = self._members
-        n = len(members)
-        index_of = {m: i for i, m in enumerate(members)}
 
         if self._fixed:
             pair_lengths = self._incidence @ lengths
-            weight = np.zeros((n, n), dtype=float)
+            # The preallocated matrix is exactly symmetric by construction
+            # (both triangles written from one vector), so the MST step
+            # can skip its validation pass.
+            weight = self._weight
             weight[self._triu_rows, self._triu_cols] = pair_lengths
             weight[self._triu_cols, self._triu_rows] = pair_lengths
-            tree_index_pairs = minimum_spanning_tree_pairs(weight)
-            overlay_edges = [
-                pair_key(members[i], members[j]) for i, j in tree_index_pairs
-            ]
-            tree = OverlayTree.from_paths(
-                members, overlay_edges, self._paths, self._network.num_edges
-            )
+            tree_index_pairs = minimum_spanning_tree_pairs(weight, validate=False)
+            tree = None
+            if self._memoize:
+                # Sort so the key is independent of Prim's discovery order:
+                # the same tree reached from different length functions must
+                # hit the same cache entry.
+                key: Tuple = tuple(sorted(tree_index_pairs))
+                tree = self._tree_cache.get(key)
+            if tree is None:
+                overlay_edges = [
+                    pair_key(members[i], members[j]) for i, j in tree_index_pairs
+                ]
+                tree = OverlayTree.from_paths(
+                    members, overlay_edges, self._paths, self._network.num_edges
+                )
+                if self._memoize:
+                    self._tree_cache[key] = tree
+                    self._cache_misses += 1
+            else:
+                self._cache_hits += 1
         else:
             weight = self._routing.pair_lengths(members, lengths)
-            tree_index_pairs = minimum_spanning_tree_pairs(weight)
+            tree_index_pairs = minimum_spanning_tree_pairs(weight, validate=False)
             overlay_edges = [
                 pair_key(members[i], members[j]) for i, j in tree_index_pairs
             ]
             paths = self._routing.paths_for_pairs(overlay_edges, lengths)
-            tree = OverlayTree.from_paths(
-                members, overlay_edges, paths, self._network.num_edges
-            )
+            tree = None
+            if self._memoize:
+                # Under dynamic routing the overlay edges alone do not pin
+                # down the physical realisation — include the path node
+                # sequences in the key.  Sorted, so the key is independent
+                # of Prim's discovery order.
+                key = tuple(sorted((pk, paths[pk].nodes) for pk in overlay_edges))
+                tree = self._tree_cache.get(key)
+            if tree is None:
+                tree = OverlayTree.from_paths(
+                    members, overlay_edges, paths, self._network.num_edges
+                )
+                if self._memoize:
+                    self._tree_cache[key] = tree
+                    self._cache_misses += 1
+            else:
+                self._cache_hits += 1
         return OracleResult(tree=tree, length=tree.length(lengths))
 
     def normalized_length(self, result: OracleResult, max_session_size: int) -> float:
@@ -181,10 +288,12 @@ class MinimumOverlayTreeOracle:
 
 
 def build_oracles(
-    sessions: Sequence[Session], routing: RoutingModel
+    sessions: Sequence[Session],
+    routing: RoutingModel,
+    memoize: Optional[bool] = None,
 ) -> List[MinimumOverlayTreeOracle]:
     """Construct one oracle per session over a shared routing model."""
-    return [MinimumOverlayTreeOracle(s, routing) for s in sessions]
+    return [MinimumOverlayTreeOracle(s, routing, memoize=memoize) for s in sessions]
 
 
 def total_oracle_calls(oracles: Sequence[MinimumOverlayTreeOracle]) -> int:

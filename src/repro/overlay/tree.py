@@ -71,9 +71,8 @@ class OverlayTree:
         edges = tuple(pair_key(*p) for p in self.overlay_edges)
         object.__setattr__(self, "members", members)
         object.__setattr__(self, "overlay_edges", edges)
-        object.__setattr__(
-            self, "edge_usage", np.asarray(self.edge_usage, dtype=float)
-        )
+        usage = np.asarray(self.edge_usage, dtype=float)
+        object.__setattr__(self, "edge_usage", usage)
         if not _is_spanning_tree(members, edges):
             raise InvalidSessionError(
                 f"overlay edges {edges} do not form a spanning tree over {members}"
@@ -81,6 +80,17 @@ class OverlayTree:
         missing = [p for p in edges if p not in self.paths]
         if missing:
             raise InvalidSessionError(f"missing unicast paths for overlay edges {missing}")
+        # Identity caches.  ``edge_usage`` must not be mutated after
+        # construction: the accumulators and the oracle's tree cache key
+        # off these precomputed values.
+        physical = np.flatnonzero(usage > 0)
+        canonical = (
+            tuple(sorted(edges)),
+            tuple((int(e), float(usage[e])) for e in physical),
+        )
+        object.__setattr__(self, "_physical_edges", physical)
+        object.__setattr__(self, "_canonical_key", canonical)
+        object.__setattr__(self, "_key_hash", hash(canonical))
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -122,8 +132,8 @@ class OverlayTree:
 
     @property
     def physical_edges(self) -> np.ndarray:
-        """Indices of physical edges with non-zero usage."""
-        return np.flatnonzero(self.edge_usage > 0)
+        """Indices of physical edges with non-zero usage (precomputed)."""
+        return self._physical_edges
 
     def usage_of(self, edge_id: int) -> float:
         """``n_e(t)`` for a specific physical edge."""
@@ -151,12 +161,11 @@ class OverlayTree:
         Two trees are "the same tree" for the paper's tree-count metrics
         when they use the same overlay edges *and* the same physical
         paths; under fixed IP routing the second condition is implied by
-        the first, under dynamic routing it is not.
+        the first, under dynamic routing it is not.  The key is computed
+        once at construction — flow accumulation and tree-set bookkeeping
+        hit it on every oracle result.
         """
-        usage_items = tuple(
-            (int(e), float(self.edge_usage[e])) for e in self.physical_edges
-        )
-        return (tuple(sorted(self.overlay_edges)), usage_items)
+        return self._canonical_key
 
     def total_physical_hops(self) -> float:
         """Total number of physical link traversals (the tree's "link stress")."""
@@ -165,7 +174,7 @@ class OverlayTree:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, OverlayTree):
             return NotImplemented
-        return self.canonical_key() == other.canonical_key()
+        return self._canonical_key == other._canonical_key
 
     def __hash__(self) -> int:
-        return hash(self.canonical_key())
+        return self._key_hash

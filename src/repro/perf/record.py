@@ -1,0 +1,186 @@
+"""The ``BENCH_core.json`` perf record for the oracle hot path.
+
+Measures the cost that dominates every algorithm in the paper — the
+minimum-overlay-spanning-tree oracle — on a deterministic flat-Waxman
+instance, and writes a JSON record so the perf trajectory is tracked
+from one PR to the next:
+
+* MaxFlow wall time and oracle calls/sec under **fixed IP routing**,
+  with tree memoization on and off (the ablation for the oracle's tree
+  cache; the ``speedup`` field is their ratio),
+* MaxFlow wall time and oracle calls/sec under **dynamic routing**
+  (Dijkstra-dominated, so memoization matters less — recorded to keep
+  the fixed/dynamic cost ratio visible).
+
+Measurements use fresh routing models per run so no caches leak between
+the memoized and unmemoized arms.  Run as a module for a CLI::
+
+    python -m repro.perf.record --scale quick --output BENCH_core.json
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.core.maxflow import MaxFlow, MaxFlowConfig
+from repro.overlay.session import Session, random_session
+from repro.routing.dynamic import DynamicRouting
+from repro.routing.ip_routing import FixedIPRouting
+from repro.topology.generators import paper_flat_topology
+from repro.topology.network import PhysicalNetwork
+from repro.util.errors import ConfigurationError
+from repro.util.rng import ensure_rng
+from repro.util.serialization import dump_json
+
+BENCH_SCHEMA = "BENCH_core/v1"
+
+
+@dataclass(frozen=True)
+class PerfProfile:
+    """Instance parameters for one perf-record scale."""
+
+    name: str
+    num_nodes: int
+    session_sizes: Tuple[int, ...]
+    fixed_ratio: float
+    dynamic_ratio: float
+    seed: int = 2004
+
+
+# "tiny" must stay sub-seconds: it runs inside the tier-1 test suite
+# (the bench_smoke marker).  "quick" is the benchmark-suite default.
+TINY_PROFILE = PerfProfile(
+    name="tiny", num_nodes=24, session_sizes=(4, 3), fixed_ratio=0.80, dynamic_ratio=0.75
+)
+QUICK_PROFILE = PerfProfile(
+    name="quick", num_nodes=48, session_sizes=(6, 4), fixed_ratio=0.90, dynamic_ratio=0.80
+)
+
+
+def profile_for_scale(scale: str) -> PerfProfile:
+    """Resolve a perf profile from a scale name."""
+    if scale == "tiny":
+        return TINY_PROFILE
+    if scale == "quick":
+        return QUICK_PROFILE
+    raise ConfigurationError(f"unknown perf scale {scale!r}; use 'tiny' or 'quick'")
+
+
+def build_perf_instance(profile: PerfProfile) -> Tuple[PhysicalNetwork, List[Session]]:
+    """The deterministic network + sessions a perf profile measures on.
+
+    Public so the benchmark suite can run ablations on exactly the
+    instance the BENCH_core record describes.
+    """
+    network = paper_flat_topology(
+        num_nodes=profile.num_nodes, capacity=100.0, seed=profile.seed
+    )
+    rng = ensure_rng(profile.seed + 1)
+    sessions = [
+        random_session(
+            network, size, demand=100.0, seed=rng, name=f"session-{index + 1}"
+        )
+        for index, size in enumerate(profile.session_sizes)
+    ]
+    return network, sessions
+
+
+def _timed_maxflow(
+    network: PhysicalNetwork,
+    sessions: List[Session],
+    routing_kind: str,
+    ratio: float,
+    memoize: bool,
+) -> Dict[str, float]:
+    routing = (
+        FixedIPRouting(network) if routing_kind == "fixed" else DynamicRouting(network)
+    )
+    solver = MaxFlow(
+        sessions,
+        routing,
+        MaxFlowConfig(approximation_ratio=ratio, memoize=memoize),
+    )
+    start = time.perf_counter()
+    solution = solver.solve()
+    seconds = time.perf_counter() - start
+    hits = sum(o.cache_hits for o in solver.oracles)
+    misses = sum(o.cache_misses for o in solver.oracles)
+    return {
+        "seconds": seconds,
+        "oracle_calls": float(solution.oracle_calls),
+        "calls_per_sec": solution.oracle_calls / seconds if seconds > 0 else 0.0,
+        "cache_hits": float(hits),
+        "cache_misses": float(misses),
+        "overall_throughput": solution.overall_throughput,
+    }
+
+
+def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
+    """Measure the oracle hot path and return the BENCH_core record."""
+    profile = profile_for_scale(scale)
+    network, sessions = build_perf_instance(profile)
+
+    # Warm-up pass (imports, allocator, BLAS threads) so the timed runs
+    # compare the algorithm, not process start-up noise.
+    _timed_maxflow(network, sessions, "fixed", profile.fixed_ratio, memoize=True)
+
+    fixed_memoized = _timed_maxflow(
+        network, sessions, "fixed", profile.fixed_ratio, memoize=True
+    )
+    fixed_unmemoized = _timed_maxflow(
+        network, sessions, "fixed", profile.fixed_ratio, memoize=False
+    )
+    dynamic_memoized = _timed_maxflow(
+        network, sessions, "dynamic", profile.dynamic_ratio, memoize=True
+    )
+
+    speedup = (
+        fixed_unmemoized["seconds"] / fixed_memoized["seconds"]
+        if fixed_memoized["seconds"] > 0
+        else 0.0
+    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "scale": profile.name,
+        "instance": {
+            "num_nodes": profile.num_nodes,
+            "num_edges": network.num_edges,
+            "session_sizes": list(profile.session_sizes),
+            "fixed_ratio": profile.fixed_ratio,
+            "dynamic_ratio": profile.dynamic_ratio,
+            "seed": profile.seed,
+        },
+        "maxflow_fixed": {
+            "memoized": fixed_memoized,
+            "unmemoized": fixed_unmemoized,
+            "memoization_speedup": speedup,
+        },
+        "maxflow_dynamic": {
+            "memoized": dynamic_memoized,
+        },
+    }
+
+
+def write_core_perf_record(
+    path: Union[str, Path] = "BENCH_core.json", scale: str = "quick"
+) -> Path:
+    """Measure and write the BENCH_core record; returns the written path."""
+    return dump_json(measure_core_perf(scale), path)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Write the BENCH_core.json perf record")
+    parser.add_argument("--scale", default="quick", choices=("tiny", "quick"))
+    parser.add_argument("--output", default="BENCH_core.json")
+    args = parser.parse_args()
+    path = write_core_perf_record(args.output, scale=args.scale)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -44,8 +44,9 @@ class DynamicRouting(RoutingModel):
         distances, _ = shortest_path_tree(self._network, members, edge_lengths)
         sub = distances[:, members]
         # Symmetrise (undirected graph; numerical asymmetry should not occur,
-        # but a max keeps the matrix exactly symmetric for the MST step).
-        return np.maximum(sub, sub.T) * 0.5 + np.minimum(sub, sub.T) * 0.5
+        # but a single max keeps the matrix exactly symmetric for the MST
+        # step without averaging in any one-sided rounding error).
+        return np.maximum(sub, sub.T)
 
     def paths_for_pairs(
         self,

@@ -23,6 +23,13 @@ from repro.util.errors import InfeasibleProblemError, InvalidNetworkError
 
 
 def _weight_matrix(network: PhysicalNetwork, edge_weights: Optional[np.ndarray]):
+    """Validated CSR adjacency under ``edge_weights``.
+
+    This is the single validation point for caller-supplied weights: the
+    shape and non-negativity checks run exactly once per Dijkstra call,
+    and the zero clamp (see :func:`shortest_path_tree`) copies the weight
+    vector only when a zero is actually present.
+    """
     if edge_weights is None:
         weights = np.ones(network.num_edges, dtype=float)
     else:
@@ -34,6 +41,8 @@ def _weight_matrix(network: PhysicalNetwork, edge_weights: Optional[np.ndarray])
             )
         if np.any(weights < 0):
             raise InvalidNetworkError("edge weights must be non-negative")
+        if np.any(weights == 0):
+            weights = np.where(weights == 0, np.finfo(float).tiny, weights)
     return network.adjacency_matrix(weights)
 
 
@@ -62,12 +71,6 @@ def shortest_path_tree(
         )
     if np.any(src < 0) or np.any(src >= network.num_nodes):
         raise InvalidNetworkError("source outside the network's node range")
-    if edge_weights is not None:
-        edge_weights = np.asarray(edge_weights, dtype=float)
-        if np.any(edge_weights < 0):
-            raise InvalidNetworkError("edge weights must be non-negative")
-        tiny = np.finfo(float).tiny
-        edge_weights = np.where(edge_weights == 0, tiny, edge_weights)
     matrix = _weight_matrix(network, edge_weights)
     distances, predecessors = dijkstra(
         matrix, directed=False, indices=src, return_predecessors=True

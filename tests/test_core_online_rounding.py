@@ -73,6 +73,18 @@ class TestOnlineMinCongestion:
         )
         assert len(ungrouped.sessions) == 4
 
+    def test_grouped_name_strips_replica_suffix(self, waxman_network):
+        session = Session((0, 4, 9), demand=1.0, name="stream")
+        solution = solve_online(session.replicate(3), FixedIPRouting(waxman_network))
+        assert solution.sessions[0].session.name == "stream"
+
+    def test_grouped_name_with_leading_hash(self, waxman_network):
+        # Regression: a base name starting with "#" used to be reported
+        # with its replica suffix still attached ("#live#0").
+        session = Session((0, 4, 9), demand=1.0, name="#live")
+        solution = solve_online(session.replicate(3), FixedIPRouting(waxman_network))
+        assert solution.sessions[0].session.name == "#live"
+
     def test_no_bottleneck_scaling(self, waxman_network):
         config = OnlineConfig(sigma=10.0, apply_no_bottleneck_scaling=True)
         solver = OnlineMinCongestion(FixedIPRouting(waxman_network), config)

@@ -1,0 +1,102 @@
+"""Parallel experiment-runner equivalence and ``--jobs`` resolution.
+
+Every sweep cell is deterministically seeded from its setting, so a
+process-pool run must produce exactly the results of a serial run.
+"""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.settings import (
+    JOBS_ENV_VAR,
+    configure_jobs,
+    default_jobs,
+    resolve_jobs,
+)
+from repro.util.errors import ConfigurationError
+
+SCALE = "tiny"
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    runner.clear_caches()
+    yield
+    runner.clear_caches()
+
+
+class TestJobsResolution:
+    def test_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert default_jobs() == 1
+        assert resolve_jobs() == 1
+        assert resolve_jobs(3) == 3
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(-1)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "4")
+        assert resolve_jobs() == 4
+        monkeypatch.setenv(JOBS_ENV_VAR, "bogus")
+        with pytest.raises(ConfigurationError):
+            resolve_jobs()
+
+    def test_configure_jobs_roundtrip(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        previous = configure_jobs(2)
+        try:
+            assert resolve_jobs() == 2
+        finally:
+            configure_jobs(previous)
+        assert resolve_jobs() == 1
+
+    def test_configured_jobs_beat_env(self, monkeypatch):
+        # Regression: an explicit --jobs (configure_jobs) must win over
+        # an ambient REPRO_JOBS from the environment.
+        monkeypatch.setenv(JOBS_ENV_VAR, "1")
+        previous = configure_jobs(8)
+        try:
+            assert resolve_jobs() == 8
+        finally:
+            configure_jobs(previous)
+        assert resolve_jobs() == 1
+
+
+def _summaries(runs):
+    return {key: solution.summary() for key, solution in runs.items()}
+
+
+class TestParallelEquivalence:
+    def test_sweep_runs_match_serial(self):
+        serial = _summaries(runner.sweep_runs(SCALE, "maxflow"))
+        runner.clear_caches()
+        parallel = _summaries(runner.sweep_runs(SCALE, "maxflow", jobs=2))
+        assert parallel == serial
+
+    def test_online_sweep_runs_match_serial(self):
+        serial = _summaries(runner.online_sweep_runs(SCALE, tree_limit=2))
+        runner.clear_caches()
+        parallel = _summaries(runner.online_sweep_runs(SCALE, tree_limit=2, jobs=2))
+        assert parallel == serial
+
+    def test_limited_tree_study_matches_serial(self):
+        serial = runner.limited_tree_study(SCALE)
+        runner.clear_caches()
+        parallel = runner.limited_tree_study(SCALE, jobs=2)
+        assert [p.__dict__ for p in parallel.points] == [
+            p.__dict__ for p in serial.points
+        ]
+        assert (
+            parallel.fractional.summary() == serial.fractional.summary()
+        )
+
+    def test_flat_ratio_sweep_accepts_jobs(self):
+        serial = _summaries(runner.flat_ratio_sweep(SCALE, "ip", "maxflow"))
+        runner.clear_caches()
+        parallel = _summaries(runner.flat_ratio_sweep(SCALE, "ip", "maxflow", jobs=2))
+        assert parallel == serial

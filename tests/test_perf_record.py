@@ -1,0 +1,49 @@
+"""Smoke tests for the BENCH_core.json perf-record writer.
+
+Marked ``bench_smoke`` so the benchmark-record machinery is exercised in
+the tier-1 run (at tiny scale, sub-seconds) and can also be selected
+alone with ``pytest -m bench_smoke``.
+"""
+
+import json
+
+import pytest
+
+from repro.perf import BENCH_SCHEMA, measure_core_perf, write_core_perf_record
+from repro.perf.record import profile_for_scale
+from repro.util.errors import ConfigurationError
+
+pytestmark = pytest.mark.bench_smoke
+
+
+def test_write_core_perf_record_tiny(tmp_path):
+    path = write_core_perf_record(tmp_path / "BENCH_core.json", scale="tiny")
+    record = json.loads(path.read_text())
+    assert record["schema"] == BENCH_SCHEMA
+    assert record["scale"] == "tiny"
+
+    fixed = record["maxflow_fixed"]
+    assert fixed["memoized"]["oracle_calls"] > 0
+    # Memoization must not change the algorithm: same number of MST
+    # operations and the same objective either way.
+    assert fixed["memoized"]["oracle_calls"] == fixed["unmemoized"]["oracle_calls"]
+    assert (
+        fixed["memoized"]["overall_throughput"]
+        == fixed["unmemoized"]["overall_throughput"]
+    )
+    assert fixed["memoized"]["cache_hits"] > 0
+    assert fixed["memoization_speedup"] > 0
+
+    dynamic = record["maxflow_dynamic"]["memoized"]
+    assert dynamic["oracle_calls"] > 0
+    assert dynamic["seconds"] > 0
+    # Fixed routing must be much cheaper per oracle call than dynamic
+    # (incidence mat-vec versus per-call Dijkstra).
+    assert fixed["memoized"]["calls_per_sec"] > dynamic["calls_per_sec"]
+
+
+def test_measure_core_perf_rejects_unknown_scale():
+    with pytest.raises(ConfigurationError):
+        measure_core_perf("paper")
+    with pytest.raises(ConfigurationError):
+        profile_for_scale("huge")

@@ -141,3 +141,29 @@ class TestDynamicRouting:
         members = [0, 5, 11, 17]
         ones = np.ones(waxman_network.num_edges)
         assert np.allclose(ip.pair_lengths(members, ones), dyn.pair_lengths(members, ones))
+
+    def test_pair_lengths_symmetrised_with_max(self, diamond_network, monkeypatch):
+        # Regression: the symmetrisation must take the elementwise max of
+        # the two directions (as documented), not their average.  Feed an
+        # artificially asymmetric distance matrix to pin the behaviour.
+        members = [0, 1, 3]
+        num_nodes = diamond_network.num_nodes
+
+        def fake_shortest_path_tree(network, sources, edge_lengths):
+            distances = np.arange(
+                len(sources) * num_nodes, dtype=float
+            ).reshape(len(sources), num_nodes)
+            return distances, None
+
+        monkeypatch.setattr(
+            "repro.routing.dynamic.shortest_path_tree", fake_shortest_path_tree
+        )
+        routing = DynamicRouting(diamond_network)
+        result = routing.pair_lengths(members, np.ones(diamond_network.num_edges))
+
+        sub = np.arange(len(members) * num_nodes, dtype=float).reshape(
+            len(members), num_nodes
+        )[:, members]
+        expected = np.maximum(sub, sub.T)
+        assert np.array_equal(result, expected)
+        assert np.array_equal(result, result.T)
