@@ -1,46 +1,52 @@
 #!/usr/bin/env python
-"""Competing live-stream sessions: throughput versus fairness.
+"""Competing live-stream sessions: throughput versus fairness, as a batch.
 
-The paper's central scenario: several independent overlay multicast sessions
-(think: live video channels, each with its own source and audience) compete
-for the same physical links.  This example places three channels of
-different sizes on a two-level AS/router topology and contrasts
+The paper's central scenario: several independent overlay multicast
+sessions (think: live video channels, each with its own source and
+audience) compete for the same physical links.  With the Scenario API
+the comparison is two *specs over one instance* — same topology, same
+workload, different solver — submitted together to the batch service:
 
-* **MaxFlow** — maximise total receiver throughput (larger channels win), and
-* **MaxConcurrentFlow** — weighted max-min fairness across channels,
+* **max_flow** — maximise total receiver throughput (larger channels win),
+* **max_concurrent_flow** — weighted max-min fairness across channels,
 
-reproducing the paper's finding that fairness costs little total throughput.
+reproducing the paper's finding that fairness costs little total
+throughput.  ``solve_many`` shares the built instance between the two
+scenarios and would solve them on a process pool with ``jobs=2``.
 
 Run with:  python examples/competing_live_streams.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    FixedIPRouting,
-    paper_two_level_topology,
-    random_sessions,
-    solve_max_concurrent_flow,
-    solve_max_flow,
-)
+from repro.api import ScenarioSpec, TopologySpec, WorkloadSpec, build_instance, solve_many
 from repro.metrics.fairness import jains_index
 from repro.metrics.summary import compare_solutions
 from repro.metrics.utilization import covered_edge_count, mean_utilization
 
 
 def main() -> None:
-    # A small two-level topology: 3 ASes x 15 routers, capacity 100 per link.
-    network = paper_two_level_topology(num_ases=3, routers_per_as=15, seed=7)
-    routing = FixedIPRouting(network)
+    # One instance: a 3 AS x 15 router two-level topology carrying three
+    # live channels with audiences spread across the ASes.
+    topology = TopologySpec(
+        generator="paper_two_level",
+        params={"num_ases": 3, "routers_per_as": 15},
+        seed=7,
+    )
+    workload = WorkloadSpec(sizes=(6, 6, 6), demand=100.0, seed=21)
+    base = ScenarioSpec(topology=topology, workload=workload, routing="ip")
 
-    # Three live channels with audiences spread across the ASes.
-    channels = random_sessions(network, count=3, size=6, demand=100.0, seed=21)
+    # Two scenarios over that instance, differing only in objective.
+    throughput_spec = base.with_solver("max_flow", approximation_ratio=0.9)
+    fairness_spec = base.with_solver("max_concurrent_flow", approximation_ratio=0.9)
+
+    network, channels, _ = build_instance(base)
     for channel in channels:
         print(f"  {channel}")
     print()
 
-    throughput_first = solve_max_flow(channels, routing, approximation_ratio=0.9)
-    fairness_first = solve_max_concurrent_flow(channels, routing, approximation_ratio=0.9)
+    reports = solve_many([throughput_spec, fairness_spec])
+    throughput_first, fairness_first = (r.solution for r in reports)
 
     print(
         compare_solutions(

@@ -1,17 +1,23 @@
 #!/usr/bin/env python
 """Online admission of dissemination swarms with a bounded number of trees.
 
-A content provider admits dissemination sessions one at a time (peers joining
-a swarm over the day) and must pick a single overlay tree per arrival without
-rerouting earlier traffic — exactly the setting of the paper's
-Online-MinCongestion algorithm (Table VI).  The example:
+A content provider admits dissemination sessions one at a time (peers
+joining a swarm over the day) and must pick a single overlay tree per
+arrival without rerouting earlier traffic — exactly the setting of the
+paper's Online-MinCongestion algorithm (Table VI).  The example uses
+both layers of the Scenario API:
 
-1. solves the fractional optimum (MaxConcurrentFlow) as the yardstick,
-2. admits replicated session copies online for several step sizes ``sigma``,
-3. rounds the fractional solution randomly to a bounded number of trees,
+1. the *declarative* layer — the fractional MaxConcurrentFlow yardstick
+   is a :class:`~repro.api.ScenarioSpec` solved with
+   :func:`repro.api.solve`;
+2. the *instance* layer — the online arrival sequences are built by
+   replicating the spec's sessions in random order, then dispatched to
+   the registered ``"online"`` solver via
+   :func:`repro.api.solve_instance` (no hand-wired solver classes);
 
-and reports how close each practical strategy gets to the optimum — the
-paper's Fig. 5/6 story.
+and finally rounds the fractional solution randomly to the same tree
+budget, reporting how close each practical strategy gets to the optimum
+— the paper's Fig. 5/6 story.
 
 Run with:  python examples/online_swarm_admission.py
 """
@@ -20,32 +26,46 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    FixedIPRouting,
-    RandomMinCongestion,
-    Session,
-    paper_flat_topology,
-    solve_max_concurrent_flow,
-    solve_online,
+from repro import RandomMinCongestion
+from repro.api import (
+    ScenarioSpec,
+    SessionSpec,
+    TopologySpec,
+    WorkloadSpec,
+    build_instance,
+    solve,
+    solve_instance,
 )
 from repro.util.tables import format_table
 
 
 def main() -> None:
-    network = paper_flat_topology(num_nodes=60, capacity=100.0, seed=11)
-    routing = FixedIPRouting(network)
-    swarms = [
-        Session((1, 9, 17, 25, 33), demand=100.0, name="swarm-a"),
-        Session((4, 12, 28, 41), demand=100.0, name="swarm-b"),
-    ]
-
-    # Yardstick: the fractional max-min fair optimum.
-    fractional = solve_max_concurrent_flow(swarms, routing, approximation_ratio=0.9)
+    # Yardstick scenario: the fractional max-min fair optimum over two
+    # hand-placed swarms on a 60-node Waxman substrate.
+    spec = ScenarioSpec(
+        topology=TopologySpec(
+            generator="paper_flat", params={"num_nodes": 60, "capacity": 100.0}, seed=11
+        ),
+        workload=WorkloadSpec(
+            sessions=(
+                SessionSpec((1, 9, 17, 25, 33), demand=100.0, name="swarm-a"),
+                SessionSpec((4, 12, 28, 41), demand=100.0, name="swarm-b"),
+            )
+        ),
+        routing="ip",
+        solver="max_concurrent_flow",
+        solver_params={"approximation_ratio": 0.9},
+    )
+    report = solve(spec)
+    fractional = report.solution
     print(
         f"fractional optimum: throughput {fractional.overall_throughput:.1f}, "
-        f"min rate {fractional.min_rate:.1f}\n"
+        f"min rate {fractional.min_rate:.1f} "
+        f"({report.oracle_calls} MST ops in {report.wall_seconds:.2f}s)\n"
     )
 
+    # The spec's live instance backs the online arrival experiments.
+    _, swarms, routing = build_instance(spec)
     tree_limit = 10
     rng = np.random.default_rng(3)
 
@@ -55,7 +75,9 @@ def main() -> None:
     for sigma in (10.0, 50.0, 200.0):
         arrivals = [copy for s in swarms for copy in s.replicate(tree_limit, demand=1.0)]
         order = rng.permutation(len(arrivals))
-        online = solve_online([arrivals[i] for i in order], routing, sigma=sigma)
+        online = solve_instance(
+            "online", [arrivals[i] for i in order], routing, {"sigma": sigma}
+        )
         rows.append(
             [
                 f"online (sigma={sigma:g})",

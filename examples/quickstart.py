@@ -1,54 +1,80 @@
 #!/usr/bin/env python
-"""Quickstart: optimal multi-tree throughput for one overlay multicast session.
+"""Quickstart: the Scenario API in one file.
 
-Builds a Waxman router topology (the paper's evaluation substrate), places a
-single 6-member dissemination session on it, and compares
+A problem is a *spec*, not a pile of hand-wired objects.  This example
+declares a :class:`repro.api.ScenarioSpec` — topology generator, session
+placement, routing model, solver, solver parameters — as plain data,
+round-trips it through JSON (what you would store in a job queue, cache
+or client request), and calls :func:`repro.api.solve` to get a uniform
+:class:`repro.api.SolveReport` back.
 
-* the theoretical upper bound computed by the MaxFlow FPTAS (arbitrarily many
-  trees), with
-* what a single multicast tree — the classic overlay-multicast design — can
-  achieve,
+The scenario itself is the paper's core motivation: one overlay
+dissemination session on a Waxman router topology, comparing
 
-illustrating the paper's core motivation: multi-tree dissemination exploits
-capacity that single-tree solutions leave on the table.
+* the theoretical upper bound computed by the MaxFlow FPTAS (arbitrarily
+  many trees), with
+* what a single multicast tree — the classic overlay-multicast design —
+  can achieve,
+
+showing that multi-tree dissemination exploits capacity a single tree
+leaves on the table.
 
 Run with:  python examples/quickstart.py
+
+The same spec can be solved from the shell (``python -m repro.api run
+spec.json``); ``python -m repro.api example`` prints a ready-made spec
+file to start from.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    FixedIPRouting,
-    MinimumOverlayTreeOracle,
-    Session,
-    paper_flat_topology,
-    solve_max_flow,
-)
+from repro import MinimumOverlayTreeOracle
+from repro.api import ScenarioSpec, SessionSpec, TopologySpec, WorkloadSpec, build_instance, solve
 from repro.metrics.distribution import top_fraction_share
 from repro.util.tables import format_kv
 
 
 def main() -> None:
-    # 1. The physical substrate: a 60-node Waxman topology, capacity 100.
-    network = paper_flat_topology(num_nodes=60, capacity=100.0, seed=42)
-    routing = FixedIPRouting(network)
-    print(f"topology: {network.num_nodes} routers, {network.num_edges} links\n")
+    # 1. Declare the whole problem as data: a 60-node Waxman substrate,
+    #    one 6-member session (a source and five receivers), fixed IP
+    #    routing, and the MaxFlow FPTAS at a 90% approximation ratio.
+    spec = ScenarioSpec(
+        topology=TopologySpec(
+            generator="paper_flat", params={"num_nodes": 60, "capacity": 100.0}, seed=42
+        ),
+        workload=WorkloadSpec(
+            sessions=(
+                SessionSpec((0, 7, 13, 21, 34, 48), demand=100.0, name="bulk-transfer"),
+            )
+        ),
+        routing="ip",
+        solver="max_flow",
+        solver_params={"approximation_ratio": 0.9},
+    )
 
-    # 2. One dissemination session: a source and five receivers.
-    session = Session((0, 7, 13, 21, 34, 48), demand=100.0, name="bulk-transfer")
-    print(f"session: {session} (source {session.source})\n")
+    # 2. Specs are JSON all the way down: serialize, ship, rebuild.  The
+    #    canonical key is a content digest — the cache/dedup identity the
+    #    batch service (`solve_many`) keys on.
+    spec = ScenarioSpec.from_json(spec.to_json())
+    print(f"scenario {spec.canonical_key[:16]}…  (full spec: spec.to_json())\n")
 
-    # 3. Single-tree baseline: the minimum overlay spanning tree under the
-    #    hop metric, which is what a conventional one-tree overlay builds.
-    oracle = MinimumOverlayTreeOracle(session, routing)
+    # 3. Single-tree baseline: the minimum overlay spanning tree under
+    #    the hop metric, which is what a conventional one-tree overlay
+    #    builds.  `build_instance` hands back the spec's live objects.
+    network, sessions, routing = build_instance(spec)
+    print(f"topology: {network.num_nodes} routers, {network.num_edges} links")
+    print(f"session: {sessions[0]} (source {sessions[0].source})\n")
+    oracle = MinimumOverlayTreeOracle(sessions[0], routing)
     single_tree = oracle.minimum_tree(np.ones(network.num_edges)).tree
     single_tree_rate = single_tree.bottleneck_capacity(network.capacities)
 
-    # 4. Multi-tree optimum (within 10%): the MaxFlow FPTAS.
-    solution = solve_max_flow([session], routing, approximation_ratio=0.9)
-    multi = solution.sessions[0]
+    # 4. Multi-tree optimum (within 10%): one `solve` call.  The report
+    #    wraps the FlowSolution with timing and the echoed spec, and is
+    #    itself JSON-serializable (report.to_jsonable()).
+    report = solve(spec)
+    multi = report.solution.sessions[0]
 
     print(
         format_kv(
@@ -59,8 +85,9 @@ def main() -> None:
                 "trees used": multi.num_trees,
                 "rate in top 10% of trees": f"{top_fraction_share(multi, 0.1):.1%}",
                 "aggregate receiver throughput": multi.aggregate_receiver_rate,
-                "feasible (capacities respected)": solution.is_feasible(),
-                "MST operations": solution.oracle_calls,
+                "feasible (capacities respected)": report.solution.is_feasible(),
+                "MST operations": report.oracle_calls,
+                "solve wall time (s)": report.wall_seconds,
             },
             precision=2,
             title="single tree vs. optimal multi-tree dissemination",

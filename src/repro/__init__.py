@@ -13,19 +13,24 @@ sessions as a multicommodity flow over overlay spanning trees and provides
 * both **fixed IP routing** and **arbitrary dynamic routing** overlay
   models,
 * the topology, routing, and metrics substrates the paper's evaluation
-  depends on, and
+  depends on,
 * an experiment harness that regenerates every table and figure of the
-  paper's evaluation section.
+  paper's evaluation section, and
+* the **Scenario API** (:mod:`repro.api`) — declarative JSON specs, a
+  solver/routing/topology registry open to plugins, and a cached,
+  process-parallel batch solve service with a ``python -m repro.api``
+  CLI.  New code should start there.
 
 Quickstart
 ----------
->>> from repro import (paper_flat_topology, FixedIPRouting, Session,
-...                    solve_max_flow)
->>> net = paper_flat_topology(num_nodes=40, seed=7)
->>> routing = FixedIPRouting(net)
->>> sessions = [Session((0, 3, 9, 17), demand=100.0)]
->>> solution = solve_max_flow(sessions, routing, approximation_ratio=0.9)
->>> solution.overall_throughput > 0
+>>> from repro.api import ScenarioSpec, TopologySpec, WorkloadSpec, solve
+>>> spec = ScenarioSpec(
+...     topology=TopologySpec("paper_flat", {"num_nodes": 40}, seed=7),
+...     workload=WorkloadSpec(sizes=(4,), demand=100.0, seed=3),
+...     solver="max_flow",
+...     solver_params={"approximation_ratio": 0.9},
+... )
+>>> solve(spec).solution.overall_throughput > 0
 True
 """
 
@@ -67,8 +72,23 @@ from repro.core import (
     solve_randomized_rounding,
     standalone_session_rates,
 )
+from repro.api import (
+    Registry,
+    ScenarioSpec,
+    SessionSpec,
+    SolveReport,
+    TopologySpec,
+    WorkloadSpec,
+    default_registry,
+    register_routing,
+    register_solver,
+    register_topology,
+    solve,
+    solve_instance,
+    solve_many,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PhysicalNetwork",
@@ -105,5 +125,18 @@ __all__ = [
     "solve_online",
     "solve_randomized_rounding",
     "standalone_session_rates",
+    "Registry",
+    "default_registry",
+    "register_topology",
+    "register_routing",
+    "register_solver",
+    "TopologySpec",
+    "SessionSpec",
+    "WorkloadSpec",
+    "ScenarioSpec",
+    "SolveReport",
+    "solve",
+    "solve_instance",
+    "solve_many",
     "__version__",
 ]

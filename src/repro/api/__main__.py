@@ -1,0 +1,126 @@
+"""``python -m repro.api`` — run scenario spec files from the command line.
+
+Subcommands
+-----------
+``run SPEC [SPEC ...]``
+    Solve one or more spec files.  Each file holds either a single
+    scenario object or a list of scenarios (a batch).  Reports are
+    written as JSON to ``--output`` (a single file receiving the list of
+    reports) or pretty-printed to stdout.  ``--jobs`` controls batch
+    parallelism (0 = all cores; default honours ``REPRO_JOBS``).
+
+``list``
+    Print the registered topology, routing and solver names.
+
+``example``
+    Print a ready-to-run example spec (see ``repro/api/__init__.py`` for
+    the documented JSON shape).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.api.registry import default_registry
+from repro.api.service import solve_many
+from repro.api.specs import ScenarioSpec, TopologySpec, WorkloadSpec
+from repro.util.jobs import JOBS_ENV_VAR, configure_jobs
+from repro.util.serialization import dump_json
+
+
+def _load_specs(path: Path) -> List[ScenarioSpec]:
+    with path.open("r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if isinstance(data, dict):
+        data = [data]
+    if not isinstance(data, list):
+        raise SystemExit(
+            f"{path}: a spec file must hold a scenario object or a list of them"
+        )
+    return [ScenarioSpec.from_jsonable(item) for item in data]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    specs: List[ScenarioSpec] = []
+    for spec_path in args.specs:
+        specs.extend(_load_specs(Path(spec_path)))
+    # Install --jobs as the process-wide default too (so e.g. the
+    # MaxConcurrentFlow pre-scaling picks it up), restoring afterwards
+    # for in-process callers of main().
+    previous = configure_jobs(args.jobs) if args.jobs is not None else None
+    try:
+        reports = solve_many(specs, jobs=args.jobs, use_cache=not args.no_cache)
+    finally:
+        if args.jobs is not None:
+            configure_jobs(previous)
+    payload = [report.to_jsonable() for report in reports]
+    if args.output:
+        dump_json(payload, args.output)
+        print(f"wrote {len(payload)} report(s) to {args.output}")
+    else:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    registry = default_registry()
+    print("topologies:", ", ".join(registry.topology_names()))
+    print("routings:  ", ", ".join(registry.routing_names()))
+    print("solvers:   ", ", ".join(registry.solver_names()))
+    return 0
+
+
+def _cmd_example(_args: argparse.Namespace) -> int:
+    spec = ScenarioSpec(
+        topology=TopologySpec(
+            generator="paper_flat", params={"num_nodes": 40, "capacity": 100.0}, seed=7
+        ),
+        workload=WorkloadSpec(sizes=(5, 4), demand=100.0, seed=21),
+        routing="ip",
+        solver="max_flow",
+        solver_params={"approximation_ratio": 0.9},
+    )
+    print(spec.to_json(indent=2))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api",
+        description="Solve declarative overlay-multicast scenario specs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="solve spec file(s) and emit JSON reports")
+    run.add_argument("specs", nargs="+", help="spec file(s): one scenario or a list")
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=f"batch worker processes (0 = all cores; default: ${JOBS_ENV_VAR} or 1)",
+    )
+    run.add_argument("--output", default=None, help="write reports to this JSON file")
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="solve every spec fresh (skip the canonical-key report cache)",
+    )
+    run.set_defaults(handler=_cmd_run)
+
+    lst = sub.add_parser("list", help="list registered topologies/routings/solvers")
+    lst.set_defaults(handler=_cmd_list)
+
+    example = sub.add_parser("example", help="print an example scenario spec")
+    example.set_defaults(handler=_cmd_example)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,350 @@
+"""The solve service: specs in, reports out.
+
+``solve(spec)`` turns one declarative :class:`ScenarioSpec` into a
+:class:`SolveReport` — the uniform result envelope carrying the live
+:class:`FlowSolution`, wall-clock and oracle-call accounting, and the
+echoed spec.  ``solve_many(specs, jobs=...)`` is the batch engine: it
+deduplicates specs by :attr:`ScenarioSpec.canonical_key`, reuses a
+process-level report cache, and farms uncached specs out to a process
+pool through the shared ``--jobs`` / ``REPRO_JOBS`` plumbing.  Parallel
+batch runs are bit-identical to serial ones because spec construction is
+deterministic.
+
+Built networks, session lists and routing models are cached per
+*instance* (topology + workload + routing digest), so sweeping many
+solver configurations over one instance — the shape of every experiment
+in the paper — rebuilds nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.registry import Registry, default_registry
+from repro.api.specs import ScenarioSpec, SessionSpec
+from repro.core.result import FlowSolution, SessionResult, TreeFlow
+from repro.overlay.session import Session
+from repro.overlay.tree import OverlayTree
+from repro.routing.base import RoutingModel, pair_key
+from repro.routing.paths import UnicastPath
+from repro.topology.network import PhysicalNetwork
+from repro.util.errors import ConfigurationError
+from repro.util.jobs import resolve_jobs
+from repro.util.serialization import to_jsonable
+
+REPORT_SCHEMA = "SolveReport/v1"
+
+# ----------------------------------------------------------------------
+# instance construction (cached per topology/workload/routing digest)
+# ----------------------------------------------------------------------
+_INSTANCE_CACHE_LIMIT = 32
+_instance_cache: "OrderedDict[str, Tuple[PhysicalNetwork, List[Session], RoutingModel]]" = (
+    OrderedDict()
+)
+
+
+def build_instance(
+    spec: ScenarioSpec, registry: Optional[Registry] = None
+) -> Tuple[PhysicalNetwork, List[Session], RoutingModel]:
+    """Build (or fetch) the live network, sessions and routing of a spec.
+
+    Cached on :attr:`ScenarioSpec.instance_key`, so scenarios that differ
+    only in solver/solver_params share one built instance — matching how
+    the experiment harness reuses instances across a ratio sweep.
+    """
+    reg = registry or default_registry()
+    key = spec.instance_key
+    if registry is None and key in _instance_cache:
+        _instance_cache.move_to_end(key)
+        return _instance_cache[key]
+    network = spec.topology.build(reg)
+    sessions = spec.workload.build(network)
+    routing = reg.build_routing(network, spec.routing)
+    if registry is None:
+        _instance_cache[key] = (network, sessions, routing)
+        while len(_instance_cache) > _INSTANCE_CACHE_LIMIT:
+            _instance_cache.popitem(last=False)
+    return network, sessions, routing
+
+
+def solve_instance(
+    solver: str,
+    sessions: Sequence[Session],
+    routing: RoutingModel,
+    params: Optional[Mapping[str, Any]] = None,
+    registry: Optional[Registry] = None,
+) -> FlowSolution:
+    """Dispatch prebuilt sessions/routing to a registered solver by name.
+
+    The lower of the API's two layers: callers that already hold live
+    objects (the experiment runner, the examples' online-arrival loops)
+    use this; callers with a declarative spec use :func:`solve`.
+    """
+    reg = registry or default_registry()
+    return reg.solver(solver)(sessions, routing, **dict(params or {}))
+
+
+# ----------------------------------------------------------------------
+# the report envelope
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SolveReport:
+    """Uniform envelope around one solved scenario.
+
+    Attributes
+    ----------
+    spec:
+        The scenario that was solved (echoed for provenance).
+    solution:
+        The live :class:`FlowSolution`.
+    wall_seconds:
+        Wall-clock time of the solve (instance build excluded).
+    oracle_calls:
+        MST operations performed — the paper's running-time metric.
+    cached:
+        Whether the report came out of the batch service's cache.
+    """
+
+    spec: ScenarioSpec
+    solution: FlowSolution = field(repr=False)
+    wall_seconds: float
+    oracle_calls: int
+    cached: bool = False
+
+    @property
+    def canonical_key(self) -> str:
+        """The solved spec's cache key."""
+        return self.spec.canonical_key
+
+    def summary(self) -> Dict[str, float]:
+        """The solution's headline metrics."""
+        return self.solution.summary()
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Full JSON form: spec, metrics, and the per-tree flow decomposition."""
+        sessions = []
+        for session_result in self.solution.sessions:
+            tree_flows = []
+            for tf in session_result.tree_flows:
+                tree = tf.tree
+                tree_flows.append(
+                    {
+                        "overlay_edges": [list(e) for e in tree.overlay_edges],
+                        "paths": [
+                            {"edge": list(e), "nodes": list(tree.paths[e].nodes)}
+                            for e in tree.overlay_edges
+                        ],
+                        "flow": tf.flow,
+                    }
+                )
+            sessions.append(
+                {
+                    "session": SessionSpec.of(session_result.session).to_jsonable(),
+                    "rate": session_result.rate,
+                    "num_trees": session_result.num_trees,
+                    "tree_flows": tree_flows,
+                }
+            )
+        return {
+            "schema": REPORT_SCHEMA,
+            "spec": self.spec.to_jsonable(),
+            "canonical_key": self.canonical_key,
+            "algorithm": self.solution.algorithm,
+            "epsilon": self.solution.epsilon,
+            "wall_seconds": self.wall_seconds,
+            "oracle_calls": self.oracle_calls,
+            "cached": self.cached,
+            "summary": to_jsonable(self.summary()),
+            "extra": to_jsonable(dict(self.solution.extra)),
+            "sessions": sessions,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "SolveReport":
+        """Rebuild a report — including a live ``FlowSolution`` — from JSON.
+
+        The physical network is reconstructed from the echoed spec's
+        topology (deterministic generators make this exact), trees are
+        rebuilt from their serialized unicast paths, and flows are
+        restored bit-for-bit (JSON round-trips IEEE doubles exactly).
+        """
+        schema = data.get("schema")
+        if schema != REPORT_SCHEMA:
+            raise ConfigurationError(
+                f"expected a {REPORT_SCHEMA} document, got schema {schema!r}"
+            )
+        spec = ScenarioSpec.from_jsonable(data["spec"])
+        network = spec.topology.build()
+        session_results = []
+        for entry in data["sessions"]:
+            session = SessionSpec.from_jsonable(entry["session"]).build()
+            tree_flows = []
+            for tf in entry["tree_flows"]:
+                paths = {}
+                for item in tf["paths"]:
+                    edge = pair_key(*item["edge"])
+                    paths[edge] = UnicastPath.from_nodes(network, item["nodes"])
+                overlay_edges = [pair_key(*e) for e in tf["overlay_edges"]]
+                tree = OverlayTree.from_paths(
+                    session.members, overlay_edges, paths, network.num_edges
+                )
+                tree_flows.append(TreeFlow(tree=tree, flow=float(tf["flow"])))
+            session_results.append(
+                SessionResult(session=session, tree_flows=tuple(tree_flows))
+            )
+        solution = FlowSolution(
+            algorithm=data["algorithm"],
+            sessions=tuple(session_results),
+            network=network,
+            epsilon=data.get("epsilon"),
+            oracle_calls=int(data["oracle_calls"]),
+            extra=dict(data.get("extra", {})),
+        )
+        return cls(
+            spec=spec,
+            solution=solution,
+            wall_seconds=float(data["wall_seconds"]),
+            oracle_calls=int(data["oracle_calls"]),
+            cached=bool(data.get("cached", False)),
+        )
+
+
+# ----------------------------------------------------------------------
+# single solve
+# ----------------------------------------------------------------------
+def solve(spec: ScenarioSpec, registry: Optional[Registry] = None) -> SolveReport:
+    """Solve one declarative scenario and return its report.
+
+    Builds (or fetches) the instance, dispatches to the registered
+    solver, and wraps the result.  Deterministic: the same spec always
+    yields a bit-identical :class:`FlowSolution`.
+    """
+    _, sessions, routing = build_instance(spec, registry)
+    start = time.perf_counter()
+    solution = solve_instance(
+        spec.solver, sessions, routing, spec.solver_params, registry
+    )
+    wall = time.perf_counter() - start
+    return SolveReport(
+        spec=spec,
+        solution=solution,
+        wall_seconds=wall,
+        oracle_calls=solution.oracle_calls,
+    )
+
+
+# ----------------------------------------------------------------------
+# batch solve
+# ----------------------------------------------------------------------
+_report_cache: "OrderedDict[str, SolveReport]" = OrderedDict()
+_REPORT_CACHE_LIMIT = 256
+_cache_hits = 0
+_cache_misses = 0
+
+
+def _solve_jsonable_cell(payload: Dict[str, Any]) -> SolveReport:
+    """Pool worker: rebuild the spec from JSON form and solve it."""
+    return solve(ScenarioSpec.from_jsonable(payload))
+
+
+def solve_many(
+    specs: Sequence[ScenarioSpec],
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+) -> List[SolveReport]:
+    """Solve a batch of scenarios, in input order.
+
+    * Specs with the same :attr:`~ScenarioSpec.canonical_key` are solved
+      once; later occurrences (and repeats across calls, via the
+      process-level cache) are served from cache with ``cached=True``.
+    * ``jobs`` resolves through the shared ``--jobs`` / ``REPRO_JOBS``
+      plumbing; with more than one worker, uncached specs solve on a
+      process pool.  Results are bit-identical to a serial run.
+    * ``use_cache=False`` bypasses the cache *and* the within-batch
+      deduplication: every spec in the batch — repeats included — is
+      solved fresh.  Use it for scenarios that are deliberately
+      non-deterministic, e.g. ``randomized_rounding`` without a seed,
+      where each occurrence must draw independently.
+    """
+    global _cache_hits, _cache_misses
+    order: List[str] = [spec.canonical_key for spec in specs]
+
+    # Decide which batch positions need a live solve.  With caching on,
+    # one solve serves every occurrence of a canonical key; with caching
+    # off, every position solves independently.
+    if use_cache:
+        fresh_keys: "OrderedDict[str, ScenarioSpec]" = OrderedDict()
+        for spec, key in zip(specs, order):
+            if key not in _report_cache and key not in fresh_keys:
+                fresh_keys[key] = spec
+        tasks = list(fresh_keys.values())
+    else:
+        tasks = list(specs)
+
+    workers = min(resolve_jobs(jobs), len(tasks)) if tasks else 1
+    if workers > 1 and len(tasks) > 1:
+        payloads = [spec.to_jsonable() for spec in tasks]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            solved = list(pool.map(_solve_jsonable_cell, payloads))
+    else:
+        solved = [solve(spec) for spec in tasks]
+    _cache_misses += len(solved)
+
+    if not use_cache:
+        return solved
+
+    new_reports: Dict[str, SolveReport] = {
+        key: report for key, report in zip(fresh_keys.keys(), solved)
+    }
+
+    out: List[SolveReport] = []
+    served_this_call: Dict[str, SolveReport] = {}
+    for spec, key in zip(specs, order):
+        if key in new_reports and key not in served_this_call:
+            report = new_reports[key]
+            served_this_call[key] = report
+        else:
+            source = served_this_call.get(key)
+            if source is None:
+                source = _report_cache[key]
+                _report_cache.move_to_end(key)  # LRU, not FIFO: refresh on hit
+                _cache_hits += 1
+                served_this_call[key] = source
+            report = SolveReport(
+                spec=spec,
+                solution=source.solution,
+                wall_seconds=source.wall_seconds,
+                oracle_calls=source.oracle_calls,
+                cached=True,
+            )
+        out.append(report)
+
+    for key, report in new_reports.items():
+        _report_cache[key] = report
+        _report_cache.move_to_end(key)
+    while len(_report_cache) > _REPORT_CACHE_LIMIT:
+        _report_cache.popitem(last=False)
+    return out
+
+
+def cache_info() -> Dict[str, int]:
+    """Batch-service cache counters (hits, misses, cached reports/instances)."""
+    return {
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+        "reports": len(_report_cache),
+        "instances": len(_instance_cache),
+    }
+
+
+def clear_caches() -> None:
+    """Drop the report and instance caches and reset the counters."""
+    global _cache_hits, _cache_misses
+    _report_cache.clear()
+    _instance_cache.clear()
+    _cache_hits = 0
+    _cache_misses = 0

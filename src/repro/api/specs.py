@@ -1,0 +1,242 @@
+"""Declarative, JSON-round-trippable problem specifications.
+
+A :class:`ScenarioSpec` names a complete problem — topology, workload,
+routing model, solver and solver parameters — without constructing any of
+them.  Specs are plain frozen dataclasses built from primitives, so they
+
+* serialize to JSON (``to_jsonable`` / ``to_json``) and come back
+  (``from_jsonable`` / ``from_json``) bit-identically,
+* have a :attr:`ScenarioSpec.canonical_key` — a stable digest suitable
+  for caching, sharding and deduplication, and
+* can be shipped across process (or machine) boundaries and rebuilt into
+  live objects through the :mod:`repro.api.registry`.
+
+Construction is deterministic: the same spec always builds the same
+network, the same sessions and the same routing model, which is what
+makes the ``canonical_key`` a cache key rather than just a label.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.overlay.session import Session, random_session
+from repro.topology.network import PhysicalNetwork
+from repro.util.errors import ConfigurationError
+from repro.util.rng import ensure_rng
+from repro.util.serialization import from_jsonable, to_jsonable
+
+
+def _canonical_json(data: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+class _SpecBase:
+    """Shared JSON plumbing for the spec dataclasses."""
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-JSON representation (dicts/lists/primitives only)."""
+        return to_jsonable(self)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON string representation."""
+        if indent is None:
+            return _canonical_json(self.to_jsonable())
+        return json.dumps(self.to_jsonable(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]):
+        """Rebuild a spec from :meth:`to_jsonable` output."""
+        return from_jsonable(cls, data)
+
+    @classmethod
+    def from_json(cls, text: str):
+        """Rebuild a spec from :meth:`to_json` output."""
+        return cls.from_jsonable(json.loads(text))
+
+    @property
+    def canonical_key(self) -> str:
+        """Stable content digest of this spec (cache/shard/dedupe key)."""
+        digest = hashlib.sha256(
+            _canonical_json(self.to_jsonable()).encode("utf-8")
+        ).hexdigest()
+        return digest
+
+
+@dataclass(frozen=True)
+class TopologySpec(_SpecBase):
+    """A named topology generator plus its parameters and seed.
+
+    Attributes
+    ----------
+    generator:
+        Registry name of the generator (``"paper_flat"``, ``"waxman"``,
+        ``"paper_two_level"``, ``"grid"``, ...).
+    params:
+        Keyword arguments forwarded to the generator.
+    seed:
+        Seed forwarded as ``seed=`` when not ``None``.  Deterministic
+        generators (grid/ring/complete) take no seed; leave it ``None``.
+    """
+
+    generator: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.generator:
+            raise ConfigurationError("topology generator name must be non-empty")
+        object.__setattr__(self, "params", dict(self.params))
+
+    def build(self, registry=None) -> PhysicalNetwork:
+        """Construct the physical network this spec describes."""
+        from repro.api.registry import default_registry
+
+        reg = registry or default_registry()
+        generator = reg.topology(self.generator)
+        kwargs = dict(self.params)
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return generator(**kwargs)
+
+
+@dataclass(frozen=True)
+class SessionSpec(_SpecBase):
+    """An explicitly-placed overlay session (mirrors :class:`Session`)."""
+
+    members: Tuple[int, ...]
+    demand: float = 1.0
+    source: Optional[int] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "members", tuple(int(m) for m in self.members))
+
+    def build(self) -> Session:
+        """Construct the live :class:`Session`."""
+        return Session(
+            self.members, demand=self.demand, source=self.source, name=self.name
+        )
+
+    @classmethod
+    def of(cls, session: Session) -> "SessionSpec":
+        """The spec describing an existing session."""
+        return cls(
+            members=session.members,
+            demand=session.demand,
+            source=session.source,
+            name=session.name,
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec(_SpecBase):
+    """The sessions placed on a topology.
+
+    Two mutually exclusive modes:
+
+    * **random** — ``sizes`` lists the member count of each session;
+      members are drawn from the topology with ``seed`` (one shared RNG
+      stream, so the draw order is part of the contract), demands are
+      uniform, and sessions are named ``session-1..n``.  This reproduces
+      the paper experiments' session construction exactly.
+    * **explicit** — ``sessions`` lists fully specified
+      :class:`SessionSpec` entries (members, demand, source, name).
+    """
+
+    sizes: Tuple[int, ...] = ()
+    demand: float = 1.0
+    seed: Optional[int] = None
+    spread_across_levels: bool = True
+    sessions: Tuple[SessionSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sizes", tuple(int(s) for s in self.sizes))
+        object.__setattr__(self, "sessions", tuple(self.sessions))
+        if bool(self.sizes) == bool(self.sessions):
+            raise ConfigurationError(
+                "exactly one of sizes (random mode) / sessions (explicit mode) "
+                "must be non-empty"
+            )
+
+    def build(self, network: PhysicalNetwork) -> List[Session]:
+        """Construct the live sessions over ``network``."""
+        if self.sessions:
+            return [s.build() for s in self.sessions]
+        rng = ensure_rng(self.seed)
+        return [
+            random_session(
+                network,
+                size,
+                demand=self.demand,
+                seed=rng,
+                name=f"session-{index + 1}",
+                spread_across_levels=self.spread_across_levels,
+            )
+            for index, size in enumerate(self.sizes)
+        ]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec(_SpecBase):
+    """A complete, serializable problem statement.
+
+    ``solve(spec)`` builds the topology, workload and routing model named
+    here, dispatches to the registered solver, and returns a
+    :class:`repro.api.service.SolveReport`.
+
+    Attributes
+    ----------
+    topology:
+        What network to build.
+    workload:
+        What sessions to place on it.
+    routing:
+        Registry name of the routing model (``"ip"`` or ``"dynamic"``,
+        plus their aliases).
+    solver:
+        Registry name of the solver (``"max_flow"``,
+        ``"max_concurrent_flow"``, ``"online"``, ``"randomized_rounding"``,
+        or any plugin-registered name).
+    solver_params:
+        Keyword arguments forwarded to the solver function.
+    """
+
+    topology: TopologySpec
+    workload: WorkloadSpec
+    routing: str = "ip"
+    solver: str = "max_flow"
+    solver_params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.routing:
+            raise ConfigurationError("routing name must be non-empty")
+        if not self.solver:
+            raise ConfigurationError("solver name must be non-empty")
+        object.__setattr__(self, "solver_params", dict(self.solver_params))
+
+    def with_solver(self, solver: str, **solver_params: Any) -> "ScenarioSpec":
+        """Copy of this scenario with a different solver (shared instance)."""
+        return dataclasses.replace(
+            self, solver=solver, solver_params=dict(solver_params)
+        )
+
+    @property
+    def instance_key(self) -> str:
+        """Digest of the problem *instance* (topology+workload+routing only).
+
+        Two scenarios that run different solvers over the same instance
+        share this key; the batch service uses it to share built networks
+        and routing models between them.
+        """
+        data = {
+            "topology": self.topology.to_jsonable(),
+            "workload": self.workload.to_jsonable(),
+            "routing": self.routing,
+        }
+        return hashlib.sha256(_canonical_json(data).encode("utf-8")).hexdigest()

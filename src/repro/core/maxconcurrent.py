@@ -21,8 +21,10 @@ from the main run; :class:`FlowSolution.extra` carries both counters.
 from __future__ import annotations
 
 import math
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,6 +63,14 @@ class MaxConcurrentFlowConfig:
     memoize:
         Oracle tree-construction memoization for both the pre-scaling
         MaxFlow runs and the main run (``None`` = process default, on).
+    prescale_jobs:
+        Worker processes for the per-session standalone MaxFlow runs of
+        the pre-scaling step — the runs are mutually independent, so with
+        ``k`` sessions up to ``k`` of them solve concurrently.  ``None``
+        falls back to the shared ``--jobs`` / ``REPRO_JOBS`` plumbing
+        (:func:`repro.util.jobs.default_jobs`); ``0`` means all cores.
+        Purely a performance switch: the resulting ``beta`` vector is
+        bit-identical to a serial run.
     """
 
     epsilon: Optional[float] = None
@@ -68,6 +78,7 @@ class MaxConcurrentFlowConfig:
     prescale_epsilon: float = 0.1
     max_steps: Optional[int] = None
     memoize: Optional[bool] = None
+    prescale_jobs: Optional[int] = None
 
     def resolved_epsilon(self) -> float:
         """The epsilon actually used (resolving the ratio form)."""
@@ -82,6 +93,29 @@ class MaxConcurrentFlowConfig:
                 )
             return float(self.epsilon)
         return epsilon_for_ratio(self.approximation_ratio, slack_factor=3.0)
+
+
+# Per-process pre-scaling context (routing, epsilon, memoize), installed
+# by the pool initializer so it is pickled once per worker rather than
+# once per session task.
+_prescale_context: Optional[Tuple[RoutingModel, float, Optional[bool]]] = None
+
+
+def _set_prescale_context(
+    context: Tuple[RoutingModel, float, Optional[bool]]
+) -> None:
+    """Install the shared pre-scaling context in this process."""
+    global _prescale_context
+    _prescale_context = context
+
+
+def _standalone_rate_cell(session: Session) -> Tuple[float, int]:
+    """Solve one session's standalone MaxFlow (module-level for pickling)."""
+    routing, epsilon, memoize = _prescale_context
+    solution = MaxFlow(
+        [session], routing, MaxFlowConfig(epsilon=epsilon, memoize=memoize)
+    ).solve()
+    return solution.sessions[0].rate, solution.oracle_calls
 
 
 class MaxConcurrentFlow:
@@ -106,21 +140,43 @@ class MaxConcurrentFlow:
     # pre-scaling
     # ------------------------------------------------------------------
     def _standalone_rates(self) -> tuple[np.ndarray, int]:
-        """Per-session standalone MaxFlow rates ``beta_i`` and their oracle cost."""
-        rates = np.zeros(len(self._sessions))
-        calls = 0
-        for index, session in enumerate(self._sessions):
-            solver = MaxFlow(
-                [session],
-                self._routing,
-                MaxFlowConfig(
-                    epsilon=self._config.prescale_epsilon,
-                    memoize=self._config.memoize,
-                ),
-            )
-            solution = solver.solve()
-            rates[index] = solution.sessions[0].rate
-            calls += solution.oracle_calls
+        """Per-session standalone MaxFlow rates ``beta_i`` and their oracle cost.
+
+        Each session's standalone run is independent of the others, so
+        they are farmed out to a process pool when the resolved
+        ``prescale_jobs`` worker count exceeds one.  Results are gathered
+        in session order either way, so ``beta`` is bit-identical between
+        serial and parallel runs.
+
+        Child processes never fan out further: when this solver already
+        runs inside a pool worker (an experiment sweep cell or a
+        ``solve_many`` batch worker), the same ambient ``REPRO_JOBS``
+        value would otherwise multiply — ``jobs`` outer workers times
+        ``jobs`` prescale workers — and oversubscribe the machine, so the
+        pre-scaling stays serial there and the outer pool keeps the
+        parallelism.
+        """
+        from repro.util.jobs import resolve_jobs
+
+        context = (self._routing, self._config.prescale_epsilon, self._config.memoize)
+        in_child_process = multiprocessing.parent_process() is not None
+        workers = 1 if in_child_process else min(
+            resolve_jobs(self._config.prescale_jobs), len(self._sessions)
+        )
+        if workers > 1 and len(self._sessions) > 1:
+            # The routing model (all-pairs route structures) travels once
+            # per worker via the initializer; tasks carry only sessions.
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_set_prescale_context,
+                initargs=(context,),
+            ) as pool:
+                results = list(pool.map(_standalone_rate_cell, self._sessions))
+        else:
+            _set_prescale_context(context)
+            results = [_standalone_rate_cell(s) for s in self._sessions]
+        rates = np.asarray([rate for rate, _ in results], dtype=float)
+        calls = sum(calls for _, calls in results)
         return rates, calls
 
     # ------------------------------------------------------------------
@@ -191,7 +247,7 @@ class MaxConcurrentFlow:
                     accumulators[index].add(tree, amount)
 
                     used = tree.physical_edges
-                    usage = tree.edge_usage[used]
+                    usage = tree.usage_values
                     factors = 1.0 + epsilon * usage * amount / capacities[used]
                     lengths.multiply(used, factors)
             if phases_since_doubling >= phase_budget and not dual_objective_reached():

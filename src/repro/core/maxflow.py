@@ -151,7 +151,7 @@ class MaxFlow:
             accumulators[best_index].add(tree, bottleneck)
 
             used = tree.physical_edges
-            usage = tree.edge_usage[used]
+            usage = tree.usage_values
             factors = 1.0 + epsilon * usage * bottleneck / capacities[used]
             lengths.multiply(used, factors)
 

@@ -146,7 +146,7 @@ class OnlineMinCongestion:
         demand = session.demand * self._demand_scale
         capacities = self._network.capacities
         used = tree.physical_edges
-        usage = tree.edge_usage[used]
+        usage = tree.usage_values
         load = usage * demand / capacities[used]
 
         factors = 1.0 + self._config.sigma * load

@@ -103,10 +103,14 @@ class SessionResult:
         return cumulative_distribution(self.tree_rates())
 
     def edge_flows(self, num_edges: int) -> np.ndarray:
-        """Physical traffic this session places on each edge."""
+        """Physical traffic this session places on each edge.
+
+        Accumulated sparsely over each tree's physical edges (the
+        indices are distinct per tree, so fancy-index ``+=`` is safe).
+        """
         out = np.zeros(num_edges, dtype=float)
         for tf in self.tree_flows:
-            out += tf.tree.edge_usage * tf.flow
+            out[tf.tree.physical_edges] += tf.tree.usage_values * tf.flow
         return out
 
 
@@ -197,7 +201,7 @@ class FlowSolution:
         covered = np.zeros(self.network.num_edges, dtype=bool)
         for s in self.sessions:
             for tf in s.tree_flows:
-                covered[tf.tree.edge_usage > 0] = True
+                covered[tf.tree.physical_edges] = True
         return utilization[covered]
 
     def max_congestion(self) -> float:

@@ -135,7 +135,8 @@ class RandomMinCongestion:
                     if total_selected_flow > 0
                     else 0.0
                 )
-                congestion += tf.tree.edge_usage * share / capacities
+                used = tf.tree.physical_edges
+                congestion[used] += tf.tree.usage_values * share / capacities[used]
 
         solution = FlowSolution(
             algorithm="Random-MinCongestion",

@@ -1,36 +1,31 @@
-"""High-level façade over the four algorithms.
+"""High-level façade over the four algorithms (thin shim).
 
-Most applications only need: *build a routing model, describe sessions,
-call one of these functions*.  The experiment harness and the examples go
-through this module so that the argument conventions stay in one place.
+Historically this module hand-wired solver configs and routing dispatch;
+it is now a thin compatibility layer over :mod:`repro.api` — the
+declarative spec / registry surface — so that argument conventions live
+in exactly one place (:mod:`repro.api.registry`).  New code should
+prefer ``repro.api``: build a :class:`~repro.api.specs.ScenarioSpec` and
+call :func:`~repro.api.service.solve`, or dispatch prebuilt objects with
+:func:`~repro.api.service.solve_instance`.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.core.maxconcurrent import MaxConcurrentFlowConfig, MaxConcurrentFlow
-from repro.core.maxflow import MaxFlow, MaxFlowConfig
-from repro.core.online import OnlineConfig, OnlineMinCongestion
 from repro.core.result import FlowSolution
 from repro.core.rounding import RandomMinCongestion, RoundedSelection
 from repro.overlay.session import Session
 from repro.routing.base import RoutingModel
-from repro.routing.dynamic import DynamicRouting
-from repro.routing.ip_routing import FixedIPRouting
 from repro.topology.network import PhysicalNetwork
-from repro.util.errors import ConfigurationError
 from repro.util.rng import SeedLike
 
 
 def make_routing(network: PhysicalNetwork, kind: str = "ip") -> RoutingModel:
     """Build a routing model by name: ``"ip"`` (fixed) or ``"dynamic"``."""
-    normalized = kind.lower()
-    if normalized in ("ip", "fixed", "fixed-ip", "static"):
-        return FixedIPRouting(network)
-    if normalized in ("dynamic", "arbitrary"):
-        return DynamicRouting(network)
-    raise ConfigurationError(f"unknown routing kind {kind!r}; use 'ip' or 'dynamic'")
+    from repro.api.registry import default_registry
+
+    return default_registry().build_routing(network, kind)
 
 
 def solve_max_flow(
@@ -40,11 +35,11 @@ def solve_max_flow(
     epsilon: Optional[float] = None,
 ) -> FlowSolution:
     """Solve the overlay maximum flow problem (paper M1 / Table I)."""
-    config = MaxFlowConfig(
-        epsilon=epsilon,
-        approximation_ratio=None if epsilon is not None else approximation_ratio,
+    from repro.api.registry import default_registry
+
+    return default_registry().solver("max_flow")(
+        sessions, routing, approximation_ratio=approximation_ratio, epsilon=epsilon
     )
-    return MaxFlow(sessions, routing, config).solve()
 
 
 def solve_max_concurrent_flow(
@@ -55,12 +50,15 @@ def solve_max_concurrent_flow(
     prescale_epsilon: float = 0.1,
 ) -> FlowSolution:
     """Solve the overlay maximum concurrent flow problem (paper M2 / Table III)."""
-    config = MaxConcurrentFlowConfig(
+    from repro.api.registry import default_registry
+
+    return default_registry().solver("max_concurrent_flow")(
+        sessions,
+        routing,
+        approximation_ratio=approximation_ratio,
         epsilon=epsilon,
-        approximation_ratio=None if epsilon is not None else approximation_ratio,
         prescale_epsilon=prescale_epsilon,
     )
-    return MaxConcurrentFlow(sessions, routing, config).solve()
 
 
 def solve_online(
@@ -70,9 +68,11 @@ def solve_online(
     group_by_members: bool = True,
 ) -> FlowSolution:
     """Route sessions online, one tree each, in arrival order (paper Table VI)."""
-    solver = OnlineMinCongestion(routing, OnlineConfig(sigma=sigma))
-    solver.accept_all(sessions)
-    return solver.solution(group_by_members=group_by_members)
+    from repro.api.registry import default_registry
+
+    return default_registry().solver("online")(
+        sessions, routing, sigma=sigma, group_by_members=group_by_members
+    )
 
 
 def solve_randomized_rounding(
@@ -80,7 +80,12 @@ def solve_randomized_rounding(
     max_trees: int = 1,
     seed: SeedLike = None,
 ) -> RoundedSelection:
-    """Randomized rounding of a fractional solution (paper Table V)."""
+    """Randomized rounding of a fractional solution (paper Table V).
+
+    Takes an already-solved fractional solution, so it stays a direct
+    call; the registry's ``"randomized_rounding"`` solver is the
+    spec-addressable variant that also performs the fractional solve.
+    """
     return RandomMinCongestion(fractional, seed=seed).select_trees(max_trees)
 
 
@@ -95,8 +100,10 @@ def standalone_session_rates(
     optimum; exposed because experiments also report it as the
     "single-session" baseline (Fig. 12 with one session).
     """
-    rates = []
-    for session in sessions:
-        solution = MaxFlow([session], routing, MaxFlowConfig(epsilon=epsilon)).solve()
-        rates.append(solution.sessions[0].rate)
-    return rates
+    from repro.api.registry import default_registry
+
+    solver = default_registry().solver("max_flow")
+    return [
+        solver([session], routing, epsilon=epsilon).sessions[0].rate
+        for session in sessions
+    ]

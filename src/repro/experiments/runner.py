@@ -23,9 +23,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.maxconcurrent import MaxConcurrentFlow, MaxConcurrentFlowConfig
-from repro.core.maxflow import MaxFlow, MaxFlowConfig
-from repro.core.online import OnlineConfig, OnlineMinCongestion
+from repro.api.service import solve_instance
+from repro.api.specs import ScenarioSpec
 from repro.core.result import FlowSolution
 from repro.core.rounding import RandomMinCongestion
 from repro.experiments.settings import (
@@ -109,23 +108,19 @@ def _solve_flat_cell(task: Tuple[str, str, str, float]) -> FlowSolution:
     """Solve one (scale, routing kind, algorithm, ratio) flat cell."""
     scale, routing_kind, algorithm, ratio = task
     instance = flat_instance(scale, routing_kind)
-    setting = instance.setting
-    if algorithm == "maxflow":
-        solver = MaxFlow(
-            instance.sessions,
-            instance.routing,
-            MaxFlowConfig(approximation_ratio=ratio),
-        )
-    else:
-        solver = MaxConcurrentFlow(
-            instance.sessions,
-            instance.routing,
-            MaxConcurrentFlowConfig(
-                approximation_ratio=ratio,
-                prescale_epsilon=setting.prescale_epsilon,
-            ),
-        )
-    return solver.solve()
+    solver, params = instance.setting.solver_spec(algorithm, ratio)
+    return solve_instance(solver, instance.sessions, instance.routing, params)
+
+
+def flat_scenario_spec(
+    scale: str, routing_kind: str, algorithm: str, ratio: float
+) -> ScenarioSpec:
+    """Declarative spec of one flat sweep cell (provenance / remote submission).
+
+    ``repro.api.solve`` on this spec reproduces the corresponding
+    :func:`flat_ratio_sweep` cell bit-identically.
+    """
+    return flat_setting_for_scale(scale).scenario_spec(routing_kind, algorithm, ratio)
 
 
 def flat_ratio_sweep(
@@ -193,14 +188,12 @@ def _limited_tree_fractional(scale: str, routing_kind: str) -> FlowSolution:
     if key not in _LIMITED_TREE_FRACTIONALS:
         instance = flat_instance(scale, routing_kind)
         setting = limited_tree_setting_for_scale(scale)
-        _LIMITED_TREE_FRACTIONALS[key] = MaxConcurrentFlow(
-            instance.sessions,
-            instance.routing,
-            MaxConcurrentFlowConfig(
-                approximation_ratio=setting.fractional_ratio,
-                prescale_epsilon=instance.setting.prescale_epsilon,
-            ),
-        ).solve()
+        solver, params = instance.setting.solver_spec(
+            "maxconcurrent", setting.fractional_ratio
+        )
+        _LIMITED_TREE_FRACTIONALS[key] = solve_instance(
+            solver, instance.sessions, instance.routing, params
+        )
     return _LIMITED_TREE_FRACTIONALS[key]
 
 
@@ -249,11 +242,12 @@ def _solve_limited_tree_point(
                 arrivals.extend(session.replicate(limit, demand=1.0))
             order = rng.permutation(len(arrivals))
             ordered = [arrivals[i] for i in order]
-            solver = OnlineMinCongestion(
-                instance.routing, OnlineConfig(sigma=sigma)
+            solution = solve_instance(
+                "online",
+                ordered,
+                instance.routing,
+                {"sigma": sigma, "group_by_members": True},
             )
-            solver.accept_all(ordered)
-            solution = solver.solution(group_by_members=True)
             throughputs.append(solution.overall_throughput)
             min_rates.append(solution.min_rate)
             # Align grouped results back to the original session order.
@@ -280,6 +274,14 @@ def _solve_limited_tree_point(
         online_min_rate=online_min_rate,
         online_session_rates=online_rates,
         online_trees_used=online_trees,
+    )
+
+
+def fractional_scenario_spec(scale: str, routing_kind: str) -> ScenarioSpec:
+    """Declarative spec of the limited-tree study's fractional reference."""
+    setting = limited_tree_setting_for_scale(scale)
+    return flat_setting_for_scale(scale).scenario_spec(
+        routing_kind, "maxconcurrent", setting.fractional_ratio
     )
 
 
@@ -341,24 +343,18 @@ def _solve_sweep_cell(task: Tuple[str, str, Tuple[int, int]]) -> FlowSolution:
     """Solve one (scale, algorithm, grid point) Section VI cell."""
     scale, algorithm, grid_point = task
     instance = sweep_instance(scale)
-    setting = instance.setting
     sessions = instance.sessions[grid_point]
-    if algorithm == "maxflow":
-        solver = MaxFlow(
-            sessions,
-            instance.routing,
-            MaxFlowConfig(approximation_ratio=setting.ratio),
-        )
-    else:
-        solver = MaxConcurrentFlow(
-            sessions,
-            instance.routing,
-            MaxConcurrentFlowConfig(
-                approximation_ratio=setting.ratio,
-                prescale_epsilon=setting.prescale_epsilon,
-            ),
-        )
-    return solver.solve()
+    solver, params = instance.setting.solver_spec(algorithm)
+    return solve_instance(solver, sessions, instance.routing, params)
+
+
+def sweep_scenario_spec(scale: str, algorithm: str, count: int, size: int) -> ScenarioSpec:
+    """Declarative spec of one Section VI grid cell.
+
+    ``repro.api.solve`` on this spec reproduces the corresponding
+    :func:`sweep_runs` cell bit-identically.
+    """
+    return sweep_setting_for_scale(scale).scenario_spec(count, size, algorithm)
 
 
 def sweep_runs(
@@ -393,11 +389,12 @@ def _solve_online_cell(task: Tuple[str, int, Tuple[int, int]]) -> FlowSolution:
         arrivals.extend(session.replicate(tree_limit, demand=setting.demand))
     order = rng.permutation(len(arrivals))
     ordered = [arrivals[i] for i in order]
-    solver = OnlineMinCongestion(
-        instance.routing, OnlineConfig(sigma=setting.online_sigma)
+    return solve_instance(
+        "online",
+        ordered,
+        instance.routing,
+        {"sigma": setting.online_sigma, "group_by_members": True},
     )
-    solver.accept_all(ordered)
-    return solver.solution(group_by_members=True)
 
 
 def online_sweep_runs(

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.experiments.report import ExperimentResult
-from repro.experiments.runner import flat_instance, flat_ratio_sweep
+from repro.experiments.runner import flat_instance, flat_ratio_sweep, flat_scenario_spec
 from repro.experiments.settings import flat_setting_for_scale
 from repro.metrics.distribution import tree_rate_distribution
 from repro.metrics.summary import solutions_to_table
@@ -44,6 +44,13 @@ def _ratio_table_data(scale: str, routing_kind: str, algorithm: str) -> Dict:
     data["demand"] = instance.setting.demand
     data["num_nodes"] = instance.network.num_nodes
     data["num_edges"] = instance.network.num_edges
+    # Declarative provenance: each column's cell as a Scenario-API spec,
+    # so any table entry can be re-solved (or submitted remotely) with
+    # ``repro.api.solve``.
+    data["scenario_specs"] = {
+        f"{ratio:g}": flat_scenario_spec(scale, routing_kind, algorithm, ratio).to_jsonable()
+        for ratio in data["ratios"]
+    }
     return data
 
 

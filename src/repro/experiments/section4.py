@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.experiments.report import ExperimentResult
-from repro.experiments.runner import limited_tree_study
+from repro.experiments.runner import fractional_scenario_spec, limited_tree_study
 from repro.experiments.settings import limited_tree_setting_for_scale
 from repro.util.tables import format_table
 
@@ -35,6 +35,9 @@ def fig5(scale: str = "quick", routing_kind: str = "ip") -> ExperimentResult:
 
     data: Dict = {
         "tree_limits": limits,
+        # The fractional yardstick as a Scenario-API spec (re-solvable via
+        # ``repro.api.solve``).
+        "fractional_scenario": fractional_scenario_spec(scale, routing_kind).to_jsonable(),
         "fractional_throughput": study.fractional.overall_throughput,
         "fractional_min_rate": study.fractional.min_rate,
         "random": {

@@ -21,7 +21,12 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.experiments.report import ExperimentResult
-from repro.experiments.runner import online_sweep_runs, sweep_instance, sweep_runs
+from repro.experiments.runner import (
+    online_sweep_runs,
+    sweep_instance,
+    sweep_runs,
+    sweep_scenario_spec,
+)
 from repro.experiments.settings import sweep_setting_for_scale
 from repro.metrics.distribution import top_fraction_share, tree_rate_distribution
 from repro.metrics.utilization import (
@@ -81,22 +86,34 @@ def _surface_result(
 # ----------------------------------------------------------------------
 # Fig 12 / 15 / 16 — MaxFlow and MaxConcurrentFlow surfaces
 # ----------------------------------------------------------------------
+def _grid_scenario_specs(scale: str, algorithm: str, points) -> Dict[str, Dict]:
+    """Scenario-API specs of every grid cell (re-solvable provenance)."""
+    return {
+        f"{count}x{size}": sweep_scenario_spec(scale, algorithm, count, size).to_jsonable()
+        for count, size in points
+    }
+
+
 def fig12(scale: str = "quick") -> ExperimentResult:
     """Paper Fig. 12: overall throughput surface under MaxFlow."""
     runs = sweep_runs(scale, "maxflow")
     values = {point: sol.overall_throughput for point, sol in runs.items()}
-    return _surface_result(
+    result = _surface_result(
         "fig12", "Overall Throughput (MaxFlow)", scale, values, "overall throughput"
     )
+    result.data["scenario_specs"] = _grid_scenario_specs(scale, "maxflow", runs)
+    return result
 
 
 def fig15(scale: str = "quick") -> ExperimentResult:
     """Paper Fig. 15: minimum session rate surface under MaxConcurrentFlow."""
     runs = sweep_runs(scale, "maxconcurrent")
     values = {point: sol.min_rate for point, sol in runs.items()}
-    return _surface_result(
+    result = _surface_result(
         "fig15", "Minimum Rate (MaxConcurrentFlow)", scale, values, "minimum session rate"
     )
+    result.data["scenario_specs"] = _grid_scenario_specs(scale, "maxconcurrent", runs)
+    return result
 
 
 def fig16(scale: str = "quick") -> ExperimentResult:
@@ -107,13 +124,18 @@ def fig16(scale: str = "quick") -> ExperimentResult:
     for point, mf in maxflow.items():
         tp = mf.overall_throughput
         values[point] = concurrent[point].overall_throughput / tp if tp > 0 else 0.0
-    return _surface_result(
+    result = _surface_result(
         "fig16",
         "Overall Throughput Ratio (MaxConcurrentFlow vs. MaxFlow)",
         scale,
         values,
         "throughput ratio",
     )
+    result.data["scenario_specs"] = {
+        "maxflow": _grid_scenario_specs(scale, "maxflow", maxflow),
+        "maxconcurrent": _grid_scenario_specs(scale, "maxconcurrent", concurrent),
+    }
+    return result
 
 
 # ----------------------------------------------------------------------

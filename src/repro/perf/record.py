@@ -10,7 +10,15 @@ from one PR to the next:
   cache; the ``speedup`` field is their ratio),
 * MaxFlow wall time and oracle calls/sec under **dynamic routing**
   (Dijkstra-dominated, so memoization matters less — recorded to keep
-  the fixed/dynamic cost ratio visible).
+  the fixed/dynamic cost ratio visible),
+* the **tree-length evaluation** ablation: the sparse incidence mat-vec
+  over the tree's physical edges (:meth:`OverlayTree.length`) versus the
+  dense full-``|E|`` dot product it replaced.
+
+The record is a *trajectory*, not a snapshot: every run appends a
+compact entry to the ``history`` list (the latest run's full sections
+stay top-level), so ``BENCH_core.json`` accumulates one entry per PR /
+benchmark invocation instead of overwriting the past.
 
 Measurements use fresh routing models per run so no caches leak between
 the memoized and unmemoized arms.  Run as a module for a CLI::
@@ -20,12 +28,16 @@ the memoized and unmemoized arms.  Run as a module for a CLI::
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
+import numpy as np
+
 from repro.core.maxflow import MaxFlow, MaxFlowConfig
+from repro.overlay.oracle import MinimumOverlayTreeOracle
 from repro.overlay.session import Session, random_session
 from repro.routing.dynamic import DynamicRouting
 from repro.routing.ip_routing import FixedIPRouting
@@ -35,7 +47,8 @@ from repro.util.errors import ConfigurationError
 from repro.util.rng import ensure_rng
 from repro.util.serialization import dump_json
 
-BENCH_SCHEMA = "BENCH_core/v1"
+BENCH_SCHEMA = "BENCH_core/v2"
+_KNOWN_SCHEMAS = ("BENCH_core/v1", BENCH_SCHEMA)
 
 
 @dataclass(frozen=True)
@@ -47,16 +60,35 @@ class PerfProfile:
     session_sizes: Tuple[int, ...]
     fixed_ratio: float
     dynamic_ratio: float
+    # The tree-length ablation runs on its own, larger topology: the
+    # sparse evaluation only engages above
+    # ``overlay.tree.SPARSE_LENGTH_MIN_EDGES`` physical edges, which the
+    # solver-profile instances sit below by design (they must solve in
+    # seconds).
+    length_bench_nodes: int = 600
+    length_evals: int = 20000
     seed: int = 2004
 
 
 # "tiny" must stay sub-seconds: it runs inside the tier-1 test suite
 # (the bench_smoke marker).  "quick" is the benchmark-suite default.
 TINY_PROFILE = PerfProfile(
-    name="tiny", num_nodes=24, session_sizes=(4, 3), fixed_ratio=0.80, dynamic_ratio=0.75
+    name="tiny",
+    num_nodes=24,
+    session_sizes=(4, 3),
+    fixed_ratio=0.80,
+    dynamic_ratio=0.75,
+    length_bench_nodes=400,
+    length_evals=2000,
 )
 QUICK_PROFILE = PerfProfile(
-    name="quick", num_nodes=48, session_sizes=(6, 4), fixed_ratio=0.90, dynamic_ratio=0.80
+    name="quick",
+    num_nodes=48,
+    session_sizes=(6, 4),
+    fixed_ratio=0.90,
+    dynamic_ratio=0.80,
+    length_bench_nodes=600,
+    length_evals=20000,
 )
 
 
@@ -118,8 +150,51 @@ def _timed_maxflow(
     }
 
 
+def _timed_tree_length(profile: PerfProfile) -> Dict[str, float]:
+    """Ablation: sparse incidence mat-vec tree length vs the dense dot.
+
+    ``OverlayTree.length`` gathers the tree's physical-edge lengths and
+    dots them with the precomputed usage values; the dense arm is the
+    full-``|E|`` product it replaced.  Both arms evaluate the same tree
+    under the same length vector, so the speedup isolates the sparse
+    evaluation itself.  Measured on the profile's dedicated
+    ``length_bench_nodes`` topology — large enough (``>=
+    SPARSE_LENGTH_MIN_EDGES`` edges) for the sparse path to engage.
+    """
+    network = paper_flat_topology(
+        num_nodes=profile.length_bench_nodes, capacity=100.0, seed=profile.seed
+    )
+    session = random_session(network, 6, demand=100.0, seed=profile.seed + 2)
+    oracle = MinimumOverlayTreeOracle(session, FixedIPRouting(network))
+    tree = oracle.minimum_tree(np.ones(network.num_edges)).tree
+    iterations = profile.length_evals
+    lengths = ensure_rng(0).uniform(0.1, 1.0, network.num_edges)
+    dense_usage = tree.edge_usage
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        tree.length(lengths)
+    sparse_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        float(np.dot(dense_usage, lengths))
+    dense_seconds = time.perf_counter() - start
+
+    return {
+        "iterations": float(iterations),
+        "physical_edges": float(tree.physical_edges.size),
+        "num_edges": float(network.num_edges),
+        "sparse_seconds": sparse_seconds,
+        "dense_seconds": dense_seconds,
+        "sparse_evals_per_sec": iterations / sparse_seconds if sparse_seconds > 0 else 0.0,
+        "dense_evals_per_sec": iterations / dense_seconds if dense_seconds > 0 else 0.0,
+        "sparse_speedup": dense_seconds / sparse_seconds if sparse_seconds > 0 else 0.0,
+    }
+
+
 def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
-    """Measure the oracle hot path and return the BENCH_core record."""
+    """Measure the oracle hot path and return one run's BENCH_core record."""
     profile = profile_for_scale(scale)
     network, sessions = build_perf_instance(profile)
 
@@ -136,6 +211,7 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
     dynamic_memoized = _timed_maxflow(
         network, sessions, "dynamic", profile.dynamic_ratio, memoize=True
     )
+    tree_length = _timed_tree_length(profile)
 
     speedup = (
         fixed_unmemoized["seconds"] / fixed_memoized["seconds"]
@@ -145,6 +221,7 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
     return {
         "schema": BENCH_SCHEMA,
         "scale": profile.name,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "instance": {
             "num_nodes": profile.num_nodes,
             "num_edges": network.num_edges,
@@ -161,14 +238,66 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
         "maxflow_dynamic": {
             "memoized": dynamic_memoized,
         },
+        "tree_length": tree_length,
     }
+
+
+def _history_entry(record: Dict[str, object]) -> Dict[str, object]:
+    """Compact per-run trajectory entry derived from a full record."""
+    fixed = record.get("maxflow_fixed", {})
+    dynamic = record.get("maxflow_dynamic", {})
+    tree_length = record.get("tree_length", {})
+    entry: Dict[str, object] = {
+        "schema": record.get("schema"),
+        "scale": record.get("scale"),
+        "recorded_at": record.get("recorded_at"),
+        "fixed_calls_per_sec": fixed.get("memoized", {}).get("calls_per_sec"),
+        "fixed_seconds": fixed.get("memoized", {}).get("seconds"),
+        "memoization_speedup": fixed.get("memoization_speedup"),
+        "dynamic_calls_per_sec": dynamic.get("memoized", {}).get("calls_per_sec"),
+    }
+    if tree_length:
+        entry["tree_length_sparse_evals_per_sec"] = tree_length.get(
+            "sparse_evals_per_sec"
+        )
+        entry["tree_length_sparse_speedup"] = tree_length.get("sparse_speedup")
+    return entry
+
+
+def _prior_history(path: Path) -> List[Dict[str, object]]:
+    """Trajectory entries carried over from an existing record file.
+
+    A v1 record (pre-history) contributes one synthesized entry so the
+    first v2 write does not discard the measured past; an unreadable or
+    foreign file contributes nothing.
+    """
+    if not path.exists():
+        return []
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            prior = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return []
+    if not isinstance(prior, dict) or prior.get("schema") not in _KNOWN_SCHEMAS:
+        return []
+    history = prior.get("history")
+    if isinstance(history, list):
+        return list(history)
+    return [_history_entry(prior)]
 
 
 def write_core_perf_record(
     path: Union[str, Path] = "BENCH_core.json", scale: str = "quick"
 ) -> Path:
-    """Measure and write the BENCH_core record; returns the written path."""
-    return dump_json(measure_core_perf(scale), path)
+    """Measure and write the BENCH_core record; returns the written path.
+
+    Appends to the trajectory: prior runs recorded at ``path`` survive in
+    the ``history`` list, with the new run's entry appended last.
+    """
+    path = Path(path)
+    record = measure_core_perf(scale)
+    record["history"] = _prior_history(path) + [_history_entry(record)]
+    return dump_json(record, path)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

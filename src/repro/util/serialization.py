@@ -9,10 +9,13 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import typing
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Type, TypeVar, Union
 
 import numpy as np
+
+T = TypeVar("T")
 
 
 def to_jsonable(obj: Any) -> Any:
@@ -36,6 +39,123 @@ def to_jsonable(obj: Any) -> Any:
     if isinstance(obj, Path):
         return str(obj)
     raise TypeError(f"cannot serialise object of type {type(obj)!r} to JSON")
+
+
+def from_jsonable(cls: Type[T], data: Any) -> T:
+    """Reconstruct a typed value from :func:`to_jsonable` output.
+
+    The inverse of :func:`to_jsonable` for the declarative spec layer:
+    given a target type (typically a dataclass) and the plain-JSON
+    structure, rebuild the typed object.  Reconstruction is driven by the
+    dataclass field annotations and understands
+
+    * nested dataclasses,
+    * ``Optional[...]`` / ``Union[..., None]``,
+    * ``Tuple[X, ...]`` / ``List[X]`` / ``Dict[K, V]`` (including nested
+      element types),
+    * ``numpy.ndarray`` fields (rebuilt from lists),
+    * primitives (passed through with a constructor-level type check).
+
+    Unknown keys in ``data`` are rejected so that a mistyped spec file
+    fails loudly instead of being silently ignored.
+    """
+    return _from_jsonable(cls, data, path="$")
+
+
+def _from_jsonable(tp: Any, data: Any, path: str) -> Any:
+    origin = typing.get_origin(tp)
+    args = typing.get_args(tp)
+
+    if tp is Any:
+        return data
+    if origin is Union:
+        if data is None and type(None) in args:
+            return None
+        last_error: Exception = TypeError(f"{path}: no Union arm matched {data!r}")
+        for arm in args:
+            if arm is type(None):
+                continue
+            try:
+                return _from_jsonable(arm, data, path)
+            except (TypeError, ValueError, KeyError) as exc:
+                last_error = exc
+        raise last_error
+    if dataclasses.is_dataclass(tp) and isinstance(tp, type):
+        if not isinstance(data, dict):
+            raise TypeError(f"{path}: expected a mapping for {tp.__name__}, got {type(data).__name__}")
+        hints = typing.get_type_hints(tp)
+        field_names = {f.name for f in dataclasses.fields(tp)}
+        unknown = set(data) - field_names
+        if unknown:
+            raise TypeError(
+                f"{path}: unknown field(s) {sorted(unknown)} for {tp.__name__}"
+            )
+        kwargs = {
+            f.name: _from_jsonable(hints[f.name], data[f.name], f"{path}.{f.name}")
+            for f in dataclasses.fields(tp)
+            if f.name in data and f.init
+        }
+        return tp(**kwargs)
+    if origin in (list, tuple, set, frozenset):
+        if not isinstance(data, (list, tuple)):
+            raise TypeError(f"{path}: expected a sequence, got {type(data).__name__}")
+        if origin is tuple and args and args[-1] is not Ellipsis:
+            if len(args) != len(data):
+                raise TypeError(
+                    f"{path}: expected {len(args)} items, got {len(data)}"
+                )
+            return tuple(
+                _from_jsonable(a, x, f"{path}[{i}]")
+                for i, (a, x) in enumerate(zip(args, data))
+            )
+        element = args[0] if args else Any
+        items = [
+            _from_jsonable(element, x, f"{path}[{i}]") for i, x in enumerate(data)
+        ]
+        return origin(items)
+    if origin is dict:
+        if not isinstance(data, dict):
+            raise TypeError(f"{path}: expected a mapping, got {type(data).__name__}")
+        key_tp = args[0] if args else Any
+        val_tp = args[1] if args else Any
+        return {
+            _coerce_key(key_tp, k): _from_jsonable(val_tp, v, f"{path}[{k!r}]")
+            for k, v in data.items()
+        }
+    if isinstance(tp, type) and issubclass(tp, np.ndarray):
+        return np.asarray(data)
+    if tp is float:
+        if isinstance(data, bool) or not isinstance(data, (int, float)):
+            raise TypeError(f"{path}: expected a number, got {type(data).__name__}")
+        return float(data)
+    if tp is int:
+        if isinstance(data, bool) or not isinstance(data, int):
+            raise TypeError(f"{path}: expected an int, got {type(data).__name__}")
+        return int(data)
+    if tp is bool:
+        if not isinstance(data, bool):
+            raise TypeError(f"{path}: expected a bool, got {type(data).__name__}")
+        return data
+    if tp is str:
+        if not isinstance(data, str):
+            raise TypeError(f"{path}: expected a string, got {type(data).__name__}")
+        return data
+    if isinstance(tp, type) and issubclass(tp, Path):
+        return Path(data)
+    if tp is type(None):
+        if data is not None:
+            raise TypeError(f"{path}: expected null, got {type(data).__name__}")
+        return None
+    raise TypeError(f"{path}: cannot reconstruct values of type {tp!r}")
+
+
+def _coerce_key(key_tp: Any, key: str) -> Any:
+    """JSON object keys are strings; coerce back to the annotated key type."""
+    if key_tp is int:
+        return int(key)
+    if key_tp is float:
+        return float(key)
+    return key
 
 
 def dump_json(obj: Any, path: Union[str, Path], indent: int = 2) -> Path:

@@ -1,0 +1,210 @@
+"""Spec and registry tests for the Scenario API (``repro.api``).
+
+Covers the declarative layer: JSON round-trips, canonical keys, workload
+construction equivalence with the experiment settings, and the
+open-registration registry (duplicate and unknown names, plugin
+decorators, the legacy ``make_routing`` shim).
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    Registry,
+    ScenarioSpec,
+    SessionSpec,
+    TopologySpec,
+    WorkloadSpec,
+    default_registry,
+)
+from repro.api.specs import _canonical_json
+from repro.core.result import FlowSolution
+from repro.core.solver import make_routing
+from repro.experiments.settings import flat_setting_for_scale, sweep_setting_for_scale
+from repro.routing.dynamic import DynamicRouting
+from repro.routing.ip_routing import FixedIPRouting
+from repro.topology.generators import grid_topology, paper_flat_topology
+from repro.util.errors import ConfigurationError
+from repro.util.serialization import from_jsonable
+
+
+@pytest.fixture
+def scenario() -> ScenarioSpec:
+    return ScenarioSpec(
+        topology=TopologySpec(
+            "paper_flat", {"num_nodes": 30, "capacity": 100.0}, seed=13
+        ),
+        workload=WorkloadSpec(sizes=(4, 3), demand=100.0, seed=5),
+        routing="ip",
+        solver="max_flow",
+        solver_params={"approximation_ratio": 0.8},
+    )
+
+
+class TestSpecRoundTrips:
+    def test_scenario_json_round_trip(self, scenario):
+        assert ScenarioSpec.from_json(scenario.to_json()) == scenario
+        assert ScenarioSpec.from_jsonable(scenario.to_jsonable()) == scenario
+
+    def test_round_trip_through_real_json_text(self, scenario):
+        # Through an actual serialize/parse cycle, not just dict identity.
+        text = json.dumps(scenario.to_jsonable())
+        assert ScenarioSpec.from_jsonable(json.loads(text)) == scenario
+
+    def test_explicit_workload_round_trip(self):
+        workload = WorkloadSpec(
+            sessions=(
+                SessionSpec((0, 3, 9), demand=50.0, source=3, name="alpha"),
+                SessionSpec((1, 2), demand=1.0),
+            )
+        )
+        restored = WorkloadSpec.from_json(workload.to_json())
+        assert restored == workload
+        assert restored.sessions[0].source == 3
+
+    def test_canonical_key_stable_and_discriminating(self, scenario):
+        round_tripped = ScenarioSpec.from_json(scenario.to_json())
+        assert round_tripped.canonical_key == scenario.canonical_key
+        different = scenario.with_solver("max_flow", approximation_ratio=0.85)
+        assert different.canonical_key != scenario.canonical_key
+
+    def test_instance_key_ignores_solver(self, scenario):
+        other = scenario.with_solver("max_concurrent_flow", approximation_ratio=0.8)
+        assert other.instance_key == scenario.instance_key
+        assert other.canonical_key != scenario.canonical_key
+
+    def test_canonical_json_is_order_independent(self):
+        a = _canonical_json({"b": 1, "a": 2})
+        b = _canonical_json({"a": 2, "b": 1})
+        assert a == b
+
+    def test_unknown_field_rejected(self, scenario):
+        data = scenario.to_jsonable()
+        data["topolgy"] = data.pop("topology")
+        with pytest.raises(TypeError):
+            ScenarioSpec.from_jsonable(data)
+
+    def test_from_jsonable_type_checks(self):
+        with pytest.raises(TypeError):
+            from_jsonable(TopologySpec, {"generator": 42})
+
+
+class TestSpecConstruction:
+    def test_topology_build_matches_direct_generator(self):
+        spec = TopologySpec("paper_flat", {"num_nodes": 30, "capacity": 100.0}, seed=13)
+        assert spec.build() == paper_flat_topology(num_nodes=30, capacity=100.0, seed=13)
+
+    def test_unseeded_generator(self):
+        spec = TopologySpec("grid", {"rows": 3, "cols": 4, "capacity": 5.0})
+        assert spec.build() == grid_topology(3, 4, capacity=5.0)
+
+    def test_flat_setting_specs_reproduce_builders(self):
+        setting = flat_setting_for_scale("tiny")
+        network = setting.topology_spec().build()
+        direct = setting.build_sessions(network)
+        via_spec = setting.workload_spec().build(network)
+        assert [(s.name, s.members, s.demand) for s in via_spec] == [
+            (s.name, s.members, s.demand) for s in direct
+        ]
+
+    def test_sweep_setting_specs_reproduce_builders(self):
+        setting = sweep_setting_for_scale("tiny")
+        network = setting.topology_spec().build()
+        direct = setting.build_sessions(network, 2, 3)
+        via_spec = setting.workload_spec(2, 3).build(network)
+        assert [(s.name, s.members) for s in via_spec] == [
+            (s.name, s.members) for s in direct
+        ]
+
+    def test_workload_mode_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec()  # neither mode
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(sizes=(3,), sessions=(SessionSpec((0, 1)),))  # both
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopologySpec("")
+        topology = TopologySpec("grid", {"rows": 2, "cols": 2})
+        workload = WorkloadSpec(sizes=(2,))
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(topology=topology, workload=workload, routing="")
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(topology=topology, workload=workload, solver="")
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        registry = default_registry()
+        for name in ("max_flow", "max_concurrent_flow", "online", "randomized_rounding"):
+            assert name in registry.solver_names()
+        for name in ("ip", "dynamic"):
+            assert name in registry.routing_names()
+        for name in ("paper_flat", "paper_two_level", "waxman", "grid"):
+            assert name in registry.topology_names()
+
+    def test_duplicate_name_rejected(self):
+        registry = Registry()
+        registry.register_solver("mine", lambda sessions, routing: None)
+        with pytest.raises(ConfigurationError):
+            registry.register_solver("mine", lambda sessions, routing: None)
+
+    def test_unknown_name_rejected(self):
+        registry = Registry()
+        with pytest.raises(ConfigurationError):
+            registry.solver("nope")
+        with pytest.raises(ConfigurationError):
+            registry.topology("nope")
+        with pytest.raises(ConfigurationError):
+            registry.routing("nope")
+
+    def test_decorator_registration_and_removal(self):
+        registry = Registry()
+
+        @registry.register_solver("constant")
+        def constant_solver(sessions, routing, value=1.0):
+            return value
+
+        assert registry.solver("constant") is constant_solver
+        registry.remove("solver", "constant")
+        with pytest.raises(ConfigurationError):
+            registry.solver("constant")
+        with pytest.raises(ConfigurationError):
+            registry.remove("solver", "constant")
+        with pytest.raises(ConfigurationError):
+            registry.remove("gadget", "constant")
+
+    def test_plugin_solver_addressable_from_spec(self, scenario):
+        from repro.api import register_solver, solve
+        from repro.core.maxflow import MaxFlow, MaxFlowConfig
+
+        @register_solver("test_plugin_halved_max_flow")
+        def halved(sessions, routing, approximation_ratio=0.9):
+            config = MaxFlowConfig(approximation_ratio=approximation_ratio)
+            return MaxFlow(sessions, routing, config).solve().scaled(0.5)
+
+        try:
+            spec = scenario.with_solver(
+                "test_plugin_halved_max_flow", approximation_ratio=0.8
+            )
+            report = solve(spec)
+            assert isinstance(report.solution, FlowSolution)
+            baseline = solve(scenario)
+            assert report.solution.overall_throughput == pytest.approx(
+                0.5 * baseline.solution.overall_throughput
+            )
+        finally:
+            default_registry().remove("solver", "test_plugin_halved_max_flow")
+
+
+class TestMakeRoutingShim:
+    def test_aliases(self, diamond_network):
+        for kind in ("ip", "fixed", "fixed-ip", "static", "IP"):
+            assert isinstance(make_routing(diamond_network, kind), FixedIPRouting)
+        for kind in ("dynamic", "arbitrary", "Dynamic"):
+            assert isinstance(make_routing(diamond_network, kind), DynamicRouting)
+
+    def test_unknown_kind(self, diamond_network):
+        with pytest.raises(ConfigurationError):
+            make_routing(diamond_network, "pigeon")

@@ -118,3 +118,52 @@ class TestBehaviourVersusMaxFlow:
     def test_no_sessions_rejected(self, waxman_network):
         with pytest.raises(ConfigurationError):
             MaxConcurrentFlow([], FixedIPRouting(waxman_network))
+
+
+class TestParallelPrescaling:
+    """The pre-scaling MaxFlow runs may fan out to a process pool."""
+
+    def test_parallel_prescale_bit_identical(self, waxman_network):
+        routing = FixedIPRouting(waxman_network)
+        sessions = [
+            Session((0, 4, 9, 13), demand=100.0, name="s1"),
+            Session((2, 7, 20), demand=100.0, name="s2"),
+            Session((5, 11, 31, 36), demand=100.0, name="s3"),
+        ]
+        serial = MaxConcurrentFlow(
+            sessions,
+            routing,
+            MaxConcurrentFlowConfig(epsilon=0.1, prescale_jobs=1),
+        ).solve()
+        parallel = MaxConcurrentFlow(
+            sessions,
+            routing,
+            MaxConcurrentFlowConfig(epsilon=0.1, prescale_jobs=2),
+        ).solve()
+        # Bit-identical: same beta bound, same oracle accounting, same flows.
+        assert parallel.extra["zeta_upper_bound"] == serial.extra["zeta_upper_bound"]
+        assert parallel.extra["prescale_oracle_calls"] == serial.extra["prescale_oracle_calls"]
+        assert parallel.summary() == serial.summary()
+        for p_session, s_session in zip(parallel.sessions, serial.sessions):
+            assert [
+                (tf.tree.canonical_key(), tf.flow) for tf in p_session.tree_flows
+            ] == [(tf.tree.canonical_key(), tf.flow) for tf in s_session.tree_flows]
+
+    def test_prescale_jobs_env_plumbing(self, waxman_network, monkeypatch):
+        from repro.util.jobs import JOBS_ENV_VAR
+
+        monkeypatch.setenv(JOBS_ENV_VAR, "2")
+        routing = FixedIPRouting(waxman_network)
+        sessions = [
+            Session((0, 4, 9), demand=100.0, name="s1"),
+            Session((2, 7, 20), demand=100.0, name="s2"),
+        ]
+        # prescale_jobs=None falls back to REPRO_JOBS; results unchanged.
+        pooled = MaxConcurrentFlow(
+            sessions, routing, MaxConcurrentFlowConfig(epsilon=0.15)
+        ).solve()
+        monkeypatch.delenv(JOBS_ENV_VAR)
+        serial = MaxConcurrentFlow(
+            sessions, routing, MaxConcurrentFlowConfig(epsilon=0.15)
+        ).solve()
+        assert pooled.summary() == serial.summary()

@@ -41,6 +41,63 @@ def test_write_core_perf_record_tiny(tmp_path):
     # (incidence mat-vec versus per-call Dijkstra).
     assert fixed["memoized"]["calls_per_sec"] > dynamic["calls_per_sec"]
 
+    # Sparse tree-length ablation: both arms measured on the same tree,
+    # on a dedicated topology large enough for the sparse path to engage.
+    from repro.overlay.tree import SPARSE_LENGTH_MIN_EDGES
+
+    tree_length = record["tree_length"]
+    assert tree_length["iterations"] > 0
+    assert tree_length["num_edges"] >= SPARSE_LENGTH_MIN_EDGES
+    assert 0 < tree_length["physical_edges"] < tree_length["num_edges"]
+    assert tree_length["sparse_evals_per_sec"] > 0
+    assert tree_length["dense_evals_per_sec"] > 0
+    assert tree_length["sparse_speedup"] > 0
+
+
+def test_record_appends_history(tmp_path):
+    path = tmp_path / "BENCH_core.json"
+    write_core_perf_record(path, scale="tiny")
+    first = json.loads(path.read_text())
+    assert len(first["history"]) == 1
+
+    write_core_perf_record(path, scale="tiny")
+    second = json.loads(path.read_text())
+    # The trajectory accumulates: run 1's entry survives run 2's write.
+    assert len(second["history"]) == 2
+    assert second["history"][0] == first["history"][0]
+    latest = second["history"][-1]
+    assert latest["fixed_calls_per_sec"] == second["maxflow_fixed"]["memoized"]["calls_per_sec"]
+    assert latest["scale"] == "tiny"
+
+
+def test_record_migrates_v1_file(tmp_path):
+    # A pre-history (v1) record contributes one synthesized entry.
+    path = tmp_path / "BENCH_core.json"
+    v1 = {
+        "schema": "BENCH_core/v1",
+        "scale": "quick",
+        "maxflow_fixed": {
+            "memoized": {"calls_per_sec": 123.0, "seconds": 1.0},
+            "memoization_speedup": 2.0,
+        },
+        "maxflow_dynamic": {"memoized": {"calls_per_sec": 45.0}},
+    }
+    path.write_text(json.dumps(v1))
+    write_core_perf_record(path, scale="tiny")
+    record = json.loads(path.read_text())
+    assert record["schema"] == BENCH_SCHEMA
+    assert len(record["history"]) == 2
+    assert record["history"][0]["fixed_calls_per_sec"] == 123.0
+    assert record["history"][0]["schema"] == "BENCH_core/v1"
+
+
+def test_corrupt_prior_record_is_ignored(tmp_path):
+    path = tmp_path / "BENCH_core.json"
+    path.write_text("{not json")
+    write_core_perf_record(path, scale="tiny")
+    record = json.loads(path.read_text())
+    assert len(record["history"]) == 1
+
 
 def test_measure_core_perf_rejects_unknown_scale():
     with pytest.raises(ConfigurationError):
