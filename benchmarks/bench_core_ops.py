@@ -99,6 +99,19 @@ def test_maxflow_memoization_ablation(run_once, benchmark, memoize):
         assert sum(o.cache_hits for o in solver.oracles) > 0
 
 
+def test_length_multiply_batch_ablation(run_once, benchmark):
+    """Ablation: one ``multiply_batch`` call vs the per-update multiply loop."""
+    benchmark.group = "length-update"
+    from repro.perf.record import _timed_multiply_batch
+
+    result = run_once(_timed_multiply_batch, QUICK_PROFILE)
+    assert result["batched_seconds"] > 0
+    assert result["loop_seconds"] > 0
+    # Coalescing hundreds of per-step calls into one vectorised
+    # np.multiply.at must win, and by a wide margin at quick scale.
+    assert result["batched_speedup"] > 1.0
+
+
 def test_emit_bench_core_record(run_once):
     """Write the repo-root BENCH_core.json perf record (quick scale).
 
@@ -119,3 +132,4 @@ def test_emit_bench_core_record(run_once):
     )
     assert fixed["memoization_speedup"] > 0
     assert record["maxflow_dynamic"]["memoized"]["oracle_calls"] > 0
+    assert record["length_multiply"]["batched_speedup"] > 0

@@ -23,7 +23,8 @@ Run with:  python examples/quickstart.py
 
 The same spec can be solved from the shell (``python -m repro.api run
 spec.json``); ``python -m repro.api example`` prints a ready-made spec
-file to start from.
+file to start from.  For batches, persistent result caching and
+multi-process scale-out, continue with ``examples/store_and_cluster.py``.
 """
 
 from __future__ import annotations

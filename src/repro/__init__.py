@@ -20,6 +20,14 @@ sessions as a multicommodity flow over overlay spanning trees and provides
   solver/routing/topology registry open to plugins, and a cached,
   process-parallel batch solve service with a ``python -m repro.api``
   CLI.  New code should start there.
+* the **persistent report store** (:mod:`repro.store`) — a
+  content-addressed on-disk cache keyed on spec ``canonical_key``s, so
+  solved scenarios survive across processes (``REPRO_STORE`` /
+  ``store=``), and
+* the **cluster layer** (:mod:`repro.cluster`) — canonical-key
+  sharding, a crash-safe file-backed work queue drained by independent
+  ``python -m repro.cluster worker`` processes, and an asyncio front
+  end streaming reports as they complete.
 
 Quickstart
 ----------

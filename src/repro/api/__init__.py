@@ -18,8 +18,14 @@ Layers
 * :mod:`repro.api.service` — ``solve(spec) -> SolveReport``,
   ``solve_many(specs, jobs=...)`` (canonical-key cache + process pool),
   and ``solve_instance`` for callers that already hold live objects.
-* ``python -m repro.api run spec.json [--jobs N] [--output out.json]`` —
-  the CLI over spec files.
+  Both entry points take ``store=`` (or honour ``REPRO_STORE``) to
+  persist reports in a :class:`repro.store.ReportStore` — warm keys
+  skip the solver entirely, across processes.
+* ``python -m repro.api run spec.json [--jobs N] [--store DIR]
+  [--output out.json]`` — the CLI over spec files, plus ``cache
+  stats|prune`` for store maintenance.
+* For multi-process scale-out over a shared filesystem, see
+  :mod:`repro.cluster` (sharded work queue + asyncio gathering).
 
 Spec JSON shape
 ---------------

@@ -7,7 +7,14 @@ Subcommands
     scenario object or a list of scenarios (a batch).  Reports are
     written as JSON to ``--output`` (a single file receiving the list of
     reports) or pretty-printed to stdout.  ``--jobs`` controls batch
-    parallelism (0 = all cores; default honours ``REPRO_JOBS``).
+    parallelism (0 = all cores; default honours ``REPRO_JOBS``);
+    ``--store DIR`` attaches a persistent report store (default honours
+    ``REPRO_STORE``), making repeated runs of solved specs near-free.
+
+``cache stats|prune``
+    Inspect or trim a persistent report store: ``stats`` prints entry
+    and byte counts, ``prune`` deletes oldest entries beyond
+    ``--max-entries`` and/or older than ``--max-age-days``.
 
 ``list``
     Print the registered topology, routing and solver names.
@@ -21,49 +28,108 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from repro.api.registry import default_registry
 from repro.api.service import solve_many
-from repro.api.specs import ScenarioSpec, TopologySpec, WorkloadSpec
-from repro.util.jobs import JOBS_ENV_VAR, configure_jobs
+from repro.api.specs import (
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    load_scenario_specs,
+)
+from repro.store import STORE_ENV_VAR, ReportStore, resolve_store
+from repro.util.errors import ConfigurationError
+from repro.util.jobs import JOBS_ENV_VAR, jobs_context
 from repro.util.serialization import dump_json
 
 
 def _load_specs(path: Path) -> List[ScenarioSpec]:
-    with path.open("r", encoding="utf-8") as fh:
-        data = json.load(fh)
-    if isinstance(data, dict):
-        data = [data]
-    if not isinstance(data, list):
-        raise SystemExit(
-            f"{path}: a spec file must hold a scenario object or a list of them"
-        )
-    return [ScenarioSpec.from_jsonable(item) for item in data]
+    try:
+        return load_scenario_specs(path)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def emit_reports(reports, output: Optional[str]) -> None:
+    """Write reports as JSON to ``output`` or pretty-print to stdout.
+
+    Shared by every CLI that emits report batches (``repro.api run``,
+    ``repro.cluster drain``), so their output format cannot diverge.
+    """
+    payload = [report.to_jsonable() for report in reports]
+    if output:
+        dump_json(payload, output)
+        print(f"wrote {len(payload)} report(s) to {output}")
+    else:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+
+
+def _store_from_args(args: argparse.Namespace) -> Optional[ReportStore]:
+    if getattr(args, "store", None):
+        return ReportStore(args.store, compress=getattr(args, "store_gzip", False))
+    store = resolve_store(None)  # honour REPRO_STORE
+    if store is not None and getattr(args, "store_gzip", False):
+        # Fresh per-invocation instance: mutating the memoized env store
+        # would leak the flag into later store-less runs in this process.
+        return ReportStore(store.root, compress=True)
+    return store
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.no_cache and args.store:
+        # solve_many bypasses the store entirely under use_cache=False;
+        # honouring --store silently would promise persistence it does
+        # not deliver.
+        raise SystemExit("--no-cache and --store are mutually exclusive")
+    if args.store_gzip and not args.store and not os.environ.get(STORE_ENV_VAR):
+        raise SystemExit(
+            f"--store-gzip needs a store: pass --store DIR or export {STORE_ENV_VAR}"
+        )
+    if args.no_cache and os.environ.get(STORE_ENV_VAR):
+        # An ambient store is a softer opt-in than an explicit flag:
+        # warn rather than refuse, but never be silent about it.
+        print(
+            f"note: --no-cache bypasses the ${STORE_ENV_VAR} store; "
+            "nothing from this run will be persisted",
+            file=sys.stderr,
+        )
     specs: List[ScenarioSpec] = []
     for spec_path in args.specs:
         specs.extend(_load_specs(Path(spec_path)))
     # Install --jobs as the process-wide default too (so e.g. the
     # MaxConcurrentFlow pre-scaling picks it up), restoring afterwards
     # for in-process callers of main().
-    previous = configure_jobs(args.jobs) if args.jobs is not None else None
-    try:
-        reports = solve_many(specs, jobs=args.jobs, use_cache=not args.no_cache)
-    finally:
-        if args.jobs is not None:
-            configure_jobs(previous)
-    payload = [report.to_jsonable() for report in reports]
-    if args.output:
-        dump_json(payload, args.output)
-        print(f"wrote {len(payload)} report(s) to {args.output}")
-    else:
-        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
-        sys.stdout.write("\n")
+    with jobs_context(args.jobs):
+        reports = solve_many(
+            specs,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            store=_store_from_args(args),
+        )
+    emit_reports(reports, args.output)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = _store_from_args(args)
+    if store is None:
+        raise SystemExit(
+            f"no store configured: pass --store DIR or export {STORE_ENV_VAR}"
+        )
+    if args.cache_command == "stats":
+        process_local = {"hits", "misses", "corrupt", "memory_entries"}
+        for name, value in store.stats().items():
+            scope = "  (this process only)" if name in process_local else ""
+            print(f"{name:15s} {value}{scope}")
+        return 0
+    max_age = None if args.max_age_days is None else args.max_age_days * 86400.0
+    removed = store.prune(max_entries=args.max_entries, max_age_seconds=max_age)
+    print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} from {store.root}")
     return 0
 
 
@@ -110,7 +176,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="solve every spec fresh (skip the canonical-key report cache)",
     )
+    run.add_argument(
+        "--store",
+        default=None,
+        help=f"persistent report-store directory (default: ${STORE_ENV_VAR} if set)",
+    )
+    run.add_argument(
+        "--store-gzip",
+        action="store_true",
+        help=f"gzip new store entries (with --store or ${STORE_ENV_VAR})",
+    )
     run.set_defaults(handler=_cmd_run)
+
+    cache = sub.add_parser("cache", help="inspect or trim a persistent report store")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "print store entry/byte/hit counters"),
+        ("prune", "delete oldest entries beyond the given bounds"),
+    ):
+        cache_cmd = cache_sub.add_parser(name, help=help_text)
+        cache_cmd.add_argument(
+            "--store",
+            default=None,
+            help=f"report-store directory (default: ${STORE_ENV_VAR} if set)",
+        )
+        if name == "prune":
+            cache_cmd.add_argument(
+                "--max-entries", type=int, default=None, help="keep at most N entries"
+            )
+            cache_cmd.add_argument(
+                "--max-age-days",
+                type=float,
+                default=None,
+                help="drop entries older than this many days",
+            )
+        cache_cmd.set_defaults(handler=_cmd_cache)
 
     lst = sub.add_parser("list", help="list registered topologies/routings/solvers")
     lst.set_defaults(handler=_cmd_list)

@@ -10,6 +10,15 @@ pool through the shared ``--jobs`` / ``REPRO_JOBS`` plumbing.  Parallel
 batch runs are bit-identical to serial ones because spec construction is
 deterministic.
 
+Both entry points optionally consult a persistent
+:class:`repro.store.ReportStore` (pass ``store=`` or export
+``REPRO_STORE=<dir>``), and fresh solves are written back, so repeated
+runs across processes — and cooperating :mod:`repro.cluster` workers —
+never re-solve a spec.  ``solve_many``'s lookup chain per key is
+in-process report cache → store → solver pool; ``solve`` checks the
+store only (it is the single-shot path — batch callers wanting the
+in-process cache use ``solve_many``).
+
 Built networks, session lists and routing models are cached per
 *instance* (topology + workload + routing digest), so sweeping many
 solver configurations over one instance — the shape of every experiment
@@ -18,6 +27,7 @@ in the paper — rebuilds nothing.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -31,6 +41,7 @@ from repro.overlay.session import Session
 from repro.overlay.tree import OverlayTree
 from repro.routing.base import RoutingModel, pair_key
 from repro.routing.paths import UnicastPath
+from repro.store.report_store import StoreLike, resolve_store
 from repro.topology.network import PhysicalNetwork
 from repro.util.errors import ConfigurationError
 from repro.util.jobs import resolve_jobs
@@ -64,11 +75,12 @@ def build_instance(
     network = spec.topology.build(reg)
     sessions = spec.workload.build(network)
     routing = reg.build_routing(network, spec.routing)
+    instance = (network, sessions, routing)
     if registry is None:
-        _instance_cache[key] = (network, sessions, routing)
+        _instance_cache[key] = instance
         while len(_instance_cache) > _INSTANCE_CACHE_LIMIT:
             _instance_cache.popitem(last=False)
-    return network, sessions, routing
+    return instance
 
 
 def solve_instance(
@@ -216,13 +228,10 @@ class SolveReport:
 # ----------------------------------------------------------------------
 # single solve
 # ----------------------------------------------------------------------
-def solve(spec: ScenarioSpec, registry: Optional[Registry] = None) -> SolveReport:
-    """Solve one declarative scenario and return its report.
-
-    Builds (or fetches) the instance, dispatches to the registered
-    solver, and wraps the result.  Deterministic: the same spec always
-    yields a bit-identical :class:`FlowSolution`.
-    """
+def _solve_uncached(
+    spec: ScenarioSpec, registry: Optional[Registry] = None
+) -> SolveReport:
+    """One live solve, no cache or store consultation (the pool-worker path)."""
     _, sessions, routing = build_instance(spec, registry)
     start = time.perf_counter()
     solution = solve_instance(
@@ -237,6 +246,38 @@ def solve(spec: ScenarioSpec, registry: Optional[Registry] = None) -> SolveRepor
     )
 
 
+def solve(
+    spec: ScenarioSpec,
+    registry: Optional[Registry] = None,
+    store: StoreLike = None,
+) -> SolveReport:
+    """Solve one declarative scenario and return its report.
+
+    Builds (or fetches) the instance, dispatches to the registered
+    solver, and wraps the result.  Deterministic: the same spec always
+    yields a bit-identical :class:`FlowSolution`.
+
+    With a persistent store configured (``store=`` path/instance, or the
+    ``REPRO_STORE`` environment variable), the store is consulted first
+    — a verified hit returns the persisted report with ``cached=True``
+    and performs no solver work — and a fresh solve is written back.
+    Stores only apply with the default registry: a custom registry may
+    resolve the same names to different implementations, which would
+    poison content-addressed entries.
+    """
+    global _store_hits
+    resolved = resolve_store(store) if registry is None else None
+    if resolved is not None:
+        hit = resolved.get(spec.canonical_key)
+        if hit is not None:
+            _store_hits += 1
+            return dataclasses.replace(hit, cached=True)
+    report = _solve_uncached(spec, registry)
+    if resolved is not None:
+        resolved.put(report)
+    return report
+
+
 # ----------------------------------------------------------------------
 # batch solve
 # ----------------------------------------------------------------------
@@ -244,34 +285,47 @@ _report_cache: "OrderedDict[str, SolveReport]" = OrderedDict()
 _REPORT_CACHE_LIMIT = 256
 _cache_hits = 0
 _cache_misses = 0
+_store_hits = 0
 
 
 def _solve_jsonable_cell(payload: Dict[str, Any]) -> SolveReport:
-    """Pool worker: rebuild the spec from JSON form and solve it."""
-    return solve(ScenarioSpec.from_jsonable(payload))
+    """Pool worker: rebuild the spec from JSON form and solve it.
+
+    Deliberately skips the store (even when ``REPRO_STORE`` is exported):
+    the parent batch already consulted it, and write-back happens once in
+    the parent rather than racing from every worker.
+    """
+    return _solve_uncached(ScenarioSpec.from_jsonable(payload))
 
 
 def solve_many(
     specs: Sequence[ScenarioSpec],
     jobs: Optional[int] = None,
     use_cache: bool = True,
+    store: StoreLike = None,
 ) -> List[SolveReport]:
     """Solve a batch of scenarios, in input order.
 
     * Specs with the same :attr:`~ScenarioSpec.canonical_key` are solved
       once; later occurrences (and repeats across calls, via the
       process-level cache) are served from cache with ``cached=True``.
+    * With a persistent store (``store=`` path/instance or the
+      ``REPRO_STORE`` environment variable), the lookup chain per key is
+      in-process report cache → store → solver pool, and every fresh
+      solve is written back.  A batch whose keys are all warm in the
+      store performs zero solver calls.
     * ``jobs`` resolves through the shared ``--jobs`` / ``REPRO_JOBS``
       plumbing; with more than one worker, uncached specs solve on a
       process pool.  Results are bit-identical to a serial run.
-    * ``use_cache=False`` bypasses the cache *and* the within-batch
-      deduplication: every spec in the batch — repeats included — is
-      solved fresh.  Use it for scenarios that are deliberately
-      non-deterministic, e.g. ``randomized_rounding`` without a seed,
-      where each occurrence must draw independently.
+    * ``use_cache=False`` bypasses the cache, the store *and* the
+      within-batch deduplication: every spec in the batch — repeats
+      included — is solved fresh.  Use it for scenarios that are
+      deliberately non-deterministic, e.g. ``randomized_rounding``
+      without a seed, where each occurrence must draw independently.
     """
-    global _cache_hits, _cache_misses
+    global _cache_hits, _cache_misses, _store_hits
     order: List[str] = [spec.canonical_key for spec in specs]
+    resolved_store = resolve_store(store) if use_cache else None
 
     # Decide which batch positions need a live solve.  With caching on,
     # one solve serves every occurrence of a canonical key; with caching
@@ -281,6 +335,16 @@ def solve_many(
         for spec, key in zip(specs, order):
             if key not in _report_cache and key not in fresh_keys:
                 fresh_keys[key] = spec
+        if resolved_store is not None:
+            # Keys warm in the store need no solver work: promote them
+            # into the in-process cache and drop them from the task list.
+            for key in list(fresh_keys):
+                persisted = resolved_store.get(key)
+                if persisted is not None:
+                    _store_hits += 1
+                    _report_cache[key] = persisted
+                    _report_cache.move_to_end(key)
+                    del fresh_keys[key]
         tasks = list(fresh_keys.values())
     else:
         tasks = list(specs)
@@ -291,8 +355,11 @@ def solve_many(
         with ProcessPoolExecutor(max_workers=workers) as pool:
             solved = list(pool.map(_solve_jsonable_cell, payloads))
     else:
-        solved = [solve(spec) for spec in tasks]
+        solved = [_solve_uncached(spec) for spec in tasks]
     _cache_misses += len(solved)
+    if resolved_store is not None:
+        for report in solved:
+            resolved_store.put(report)
 
     if not use_cache:
         return solved
@@ -328,14 +395,30 @@ def solve_many(
         _report_cache.move_to_end(key)
     while len(_report_cache) > _REPORT_CACHE_LIMIT:
         _report_cache.popitem(last=False)
+    if resolved_store is not None:
+        # Backfill: keys served from the in-process cache (warmed by an
+        # earlier store-less call) must still land on disk, or a store
+        # attached mid-session would never see them.  Read from
+        # served_this_call, not _report_cache — the eviction pass above
+        # may already have dropped a served key from the cache.
+        for key, report in served_this_call.items():
+            if key not in new_reports and not resolved_store.contains(key):
+                resolved_store.put(report)
     return out
 
 
 def cache_info() -> Dict[str, int]:
-    """Batch-service cache counters (hits, misses, cached reports/instances)."""
+    """Batch-service cache counters (hits, misses, cached reports/instances).
+
+    ``misses`` counts live solver runs; ``hits`` counts reports served
+    from the in-process cache; ``store_hits`` counts the subset of warm
+    keys that came off the persistent store rather than this process's
+    own solves.
+    """
     return {
         "hits": _cache_hits,
         "misses": _cache_misses,
+        "store_hits": _store_hits,
         "reports": len(_report_cache),
         "instances": len(_instance_cache),
     }
@@ -343,8 +426,9 @@ def cache_info() -> Dict[str, int]:
 
 def clear_caches() -> None:
     """Drop the report and instance caches and reset the counters."""
-    global _cache_hits, _cache_misses
+    global _cache_hits, _cache_misses, _store_hits
     _report_cache.clear()
     _instance_cache.clear()
     _cache_hits = 0
     _cache_misses = 0
+    _store_hits = 0

@@ -21,19 +21,17 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.overlay.session import Session, random_session
 from repro.topology.network import PhysicalNetwork
 from repro.util.errors import ConfigurationError
 from repro.util.rng import ensure_rng
+from repro.util.serialization import canonical_json as _canonical_json
 from repro.util.serialization import from_jsonable, to_jsonable
-
-
-def _canonical_json(data: Any) -> str:
-    """Deterministic JSON encoding (sorted keys, no whitespace)."""
-    return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
 class _SpecBase:
@@ -61,11 +59,28 @@ class _SpecBase:
 
     @property
     def canonical_key(self) -> str:
-        """Stable content digest of this spec (cache/shard/dedupe key)."""
-        digest = hashlib.sha256(
-            _canonical_json(self.to_jsonable()).encode("utf-8")
-        ).hexdigest()
-        return digest
+        """Stable content digest of this spec (cache/shard/dedupe key).
+
+        Memoized on first access (specs are frozen): the store, queue,
+        sharding and batch-dedup hot paths all re-read it many times per
+        spec.  The cache slot is not a dataclass field, so it never
+        enters serialization or equality.
+        """
+        cached = self.__dict__.get("_canonical_key_cache")
+        if cached is None:
+            cached = hashlib.sha256(
+                _canonical_json(self.to_jsonable()).encode("utf-8")
+            ).hexdigest()
+            object.__setattr__(self, "_canonical_key_cache", cached)
+        return cached
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash trips over dict-typed
+        # fields (params/solver_params/demand_distribution); hash the
+        # content digest instead so specs work in sets and as dict keys.
+        # Consistent with the field-based __eq__: equal specs serialize
+        # identically, hence share a canonical key.
+        return hash(self.canonical_key)
 
 
 @dataclass(frozen=True)
@@ -134,6 +149,14 @@ class SessionSpec(_SpecBase):
         )
 
 
+#: Demand-distribution kinds and their required parameters.
+_DEMAND_DISTRIBUTIONS: Dict[str, Tuple[str, ...]] = {
+    "constant": ("value",),
+    "uniform": ("low", "high"),
+    "exponential": ("mean",),
+}
+
+
 @dataclass(frozen=True)
 class WorkloadSpec(_SpecBase):
     """The sessions placed on a topology.
@@ -147,6 +170,19 @@ class WorkloadSpec(_SpecBase):
       the paper experiments' session construction exactly.
     * **explicit** — ``sessions`` lists fully specified
       :class:`SessionSpec` entries (members, demand, source, name).
+
+    ``demand_distribution`` (random mode only) replaces the uniform
+    ``demand`` with one per-session draw from a named distribution::
+
+        {"kind": "uniform", "low": 50.0, "high": 150.0}
+        {"kind": "exponential", "mean": 100.0}
+        {"kind": "constant", "value": 100.0}
+
+    Demands are drawn from the continuation of the member-placement RNG
+    stream *after* all members are placed, so a spec with a distribution
+    places exactly the same members as the same spec without one.  The
+    default (``None``) is omitted from the JSON form, keeping the
+    ``canonical_key`` of every pre-existing spec unchanged.
     """
 
     sizes: Tuple[int, ...] = ()
@@ -154,6 +190,7 @@ class WorkloadSpec(_SpecBase):
     seed: Optional[int] = None
     spread_across_levels: bool = True
     sessions: Tuple[SessionSpec, ...] = ()
+    demand_distribution: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sizes", tuple(int(s) for s in self.sizes))
@@ -163,13 +200,91 @@ class WorkloadSpec(_SpecBase):
                 "exactly one of sizes (random mode) / sessions (explicit mode) "
                 "must be non-empty"
             )
+        if self.demand_distribution is not None:
+            if self.sessions:
+                raise ConfigurationError(
+                    "demand_distribution applies to random mode only; explicit "
+                    "sessions carry their own demands"
+                )
+            if self.demand != 1.0:
+                # The flat demand is unused under a distribution, but it
+                # would still enter the canonical key — identical
+                # workloads must not get distinct digests.
+                raise ConfigurationError(
+                    "demand is unused when demand_distribution is set; "
+                    "leave it at its default"
+                )
+            dist = dict(self.demand_distribution)
+            kind = dist.get("kind")
+            if kind not in _DEMAND_DISTRIBUTIONS:
+                raise ConfigurationError(
+                    f"unknown demand distribution kind {kind!r}; "
+                    f"use one of {sorted(_DEMAND_DISTRIBUTIONS)}"
+                )
+            expected = {"kind", *_DEMAND_DISTRIBUTIONS[kind]}
+            if set(dist) != expected:
+                raise ConfigurationError(
+                    f"demand distribution {kind!r} takes exactly the fields "
+                    f"{sorted(expected)}, got {sorted(dist)}"
+                )
+            # Validate values here, not at build() time: a bad spec must
+            # fail at construction, before it is serialized, queued and
+            # dead-lettered by every worker that touches it.
+            for field_name in _DEMAND_DISTRIBUTIONS[kind]:
+                value = dist[field_name]
+                if (
+                    isinstance(value, bool)
+                    or not isinstance(value, (int, float))
+                    or not math.isfinite(value)
+                ):
+                    # Non-finite values would also poison the canonical
+                    # JSON encoding (Infinity/NaN are not standard JSON).
+                    raise ConfigurationError(
+                        f"demand distribution field {field_name!r} must be a "
+                        f"finite number, got {value!r}"
+                    )
+                dist[field_name] = float(value)
+            if kind == "uniform" and not 0 < dist["low"] <= dist["high"]:
+                raise ConfigurationError(
+                    f"uniform demand distribution needs 0 < low <= high "
+                    f"(demands must be positive), got [{dist['low']}, {dist['high']}]"
+                )
+            if kind == "exponential" and dist["mean"] <= 0:
+                raise ConfigurationError(
+                    f"exponential demand distribution needs a positive mean, "
+                    f"got {dist['mean']}"
+                )
+            if kind == "constant" and dist["value"] <= 0:
+                raise ConfigurationError(
+                    f"constant demand distribution needs a positive value, "
+                    f"got {dist['value']}"
+                )
+            object.__setattr__(self, "demand_distribution", dist)
+
+    def __jsonable__(self) -> Dict[str, Any]:
+        """JSON shape hook: the default ``demand_distribution`` is
+        omitted so pre-existing specs — standalone *or* nested inside a
+        :class:`ScenarioSpec` — keep their canonical keys."""
+        data = {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+        if self.demand_distribution is None:
+            del data["demand_distribution"]
+        return data
+
+    def _draw_demands(self, rng, count: int) -> List[float]:
+        dist = self.demand_distribution or {}
+        kind = dist["kind"]  # values were validated in __post_init__
+        if kind == "constant":
+            return [dist["value"]] * count
+        if kind == "uniform":
+            return [float(d) for d in rng.uniform(dist["low"], dist["high"], size=count)]
+        return [float(d) for d in rng.exponential(dist["mean"], size=count)]
 
     def build(self, network: PhysicalNetwork) -> List[Session]:
         """Construct the live sessions over ``network``."""
         if self.sessions:
             return [s.build() for s in self.sessions]
         rng = ensure_rng(self.seed)
-        return [
+        sessions = [
             random_session(
                 network,
                 size,
@@ -180,6 +295,18 @@ class WorkloadSpec(_SpecBase):
             )
             for index, size in enumerate(self.sizes)
         ]
+        if self.demand_distribution is not None:
+            demands = self._draw_demands(rng, len(sessions))
+            sessions = [
+                Session(
+                    session.members,
+                    demand=demand,
+                    source=session.source,
+                    name=session.name,
+                )
+                for session, demand in zip(sessions, demands)
+            ]
+        return sessions
 
 
 @dataclass(frozen=True)
@@ -240,3 +367,29 @@ class ScenarioSpec(_SpecBase):
             "routing": self.routing,
         }
         return hashlib.sha256(_canonical_json(data).encode("utf-8")).hexdigest()
+
+
+# frozen dataclasses generate their own __hash__, shadowing the
+# digest-based one on _SpecBase — restore it explicitly.
+for _spec_cls in (TopologySpec, SessionSpec, WorkloadSpec, ScenarioSpec):
+    _spec_cls.__hash__ = _SpecBase.__hash__  # type: ignore[method-assign]
+del _spec_cls
+
+
+def load_scenario_specs(path: Union[str, Path]) -> List[ScenarioSpec]:
+    """Load a spec file: one scenario object, or a list of them (a batch).
+
+    The shared loader behind every CLI that consumes spec files
+    (``python -m repro.api run``, ``python -m repro.cluster
+    submit``/``drain``), so they accept and reject files identically.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if isinstance(data, dict):
+        data = [data]
+    if not isinstance(data, list):
+        raise ConfigurationError(
+            f"{path}: a spec file must hold a scenario object or a list of them"
+        )
+    return [ScenarioSpec.from_jsonable(item) for item in data]

@@ -1,0 +1,430 @@
+"""A file-backed work queue with claim/lease/complete semantics.
+
+The queue is a directory; a task is a JSON file holding one serialized
+:class:`~repro.api.specs.ScenarioSpec`; a task's state is which
+subdirectory its file sits in::
+
+    pending/   submitted, unowned            (claim: rename → claimed/)
+    claimed/   leased to one worker          (complete: rename → done/)
+    done/      solved, report in the store
+    failed/    solve raised; error recorded  (terminal, like done)
+    leases/    sidecar per claimed task: owner + expiry
+
+Every state transition is a single ``os.rename`` on one filesystem —
+atomic on POSIX — so any number of independent worker processes can
+claim from one queue with no locks and no coordinator: a contested
+claim simply loses the rename race and moves on.  Crash safety comes
+from leases: a claim writes a sidecar recording the owner and an expiry
+time, and :meth:`WorkQueue.requeue_expired` (run by every worker between
+claims) moves tasks whose lease has lapsed back to ``pending/``, so work
+owned by a crashed or wedged worker is re-run by someone else.
+
+Completion is idempotent by design: a worker that outlives its lease and
+completes anyway finds its claim file gone and treats that as success —
+the report it wrote to the shared :class:`repro.store.ReportStore` makes
+the re-queued copy a store hit rather than a duplicate solve.
+
+Task files are named ``s<shard>-<canonical_key>.json`` so submission
+deduplicates by content and a shard-pinned worker
+(``python -m repro.cluster worker --shard K --num-shards N``) can filter
+on the filename prefix without reading payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.api.specs import ScenarioSpec
+from repro.cluster.sharding import shard_of
+from repro.util.errors import ConfigurationError
+from repro.util.serialization import atomic_write_bytes
+
+TASK_SCHEMA = "WorkQueueTask/v1"
+LEASE_SCHEMA = "WorkQueueLease/v1"
+
+_STATES = ("pending", "claimed", "done", "failed")
+
+
+def _task_name(shard: int, key: str) -> str:
+    return f"s{shard:04d}-{key}.json"
+
+
+def _key_of_task_name(name: str) -> str:
+    """The canonical key encoded in a task filename."""
+    return name.split("-", 1)[1][: -len(".json")]
+
+
+def _shard_of_task_name(name: str) -> int:
+    """The shard encoded in a task filename (the authoritative one)."""
+    return int(name.split("-", 1)[0][1:])
+
+
+@dataclass(frozen=True)
+class ClaimedTask:
+    """One leased unit of work: the spec payload plus its queue identity."""
+
+    name: str
+    key: str
+    shard: int
+    payload: Dict[str, Any]
+    worker: str = ""
+
+    @property
+    def spec(self) -> ScenarioSpec:
+        """The live spec this task asks to solve."""
+        return ScenarioSpec.from_jsonable(self.payload["spec"])
+
+
+class WorkQueue:
+    """A shared directory of serialized specs with leased claims.
+
+    Parameters
+    ----------
+    root:
+        Queue directory (created on first use).
+    lease_seconds:
+        How long a claim stays owned without completing before
+        :meth:`requeue_expired` hands it to another worker.  Choose it
+        comfortably above the slowest expected single solve.
+    """
+
+    def __init__(self, root: Union[str, Path], lease_seconds: float = 300.0) -> None:
+        if lease_seconds <= 0:
+            raise ConfigurationError(
+                f"lease_seconds must be positive, got {lease_seconds}"
+            )
+        self.root = Path(root)
+        self.lease_seconds = float(lease_seconds)
+
+    def _dir(self, state: str) -> Path:
+        return self.root / state
+
+    def _lease_path(self, name: str) -> Path:
+        return self.root / "leases" / f"{name}.lease"
+
+    def _names(self, state: str) -> List[str]:
+        directory = self._dir(state)
+        if not directory.exists():
+            return []
+        return sorted(p.name for p in directory.iterdir() if p.suffix == ".json")
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self, specs: Sequence[ScenarioSpec], num_shards: int = 1
+    ) -> List[str]:
+        """Enqueue specs (deduplicated by canonical key); returns their keys.
+
+        A spec whose canonical key already has a task file in any state
+        — under *any* shard count — is skipped: submission is
+        idempotent, so a gatherer can re-submit a batch containing keys
+        another client already queued or finished, even with different
+        sharding.
+        """
+        existing = {
+            _key_of_task_name(name)
+            for state in _STATES
+            for name in self._names(state)
+        }
+        pending_names = {
+            _key_of_task_name(name): name for name in self._names("pending")
+        }
+        keys: List[str] = []
+        for spec in specs:
+            key = spec.canonical_key
+            keys.append(key)
+            shard = shard_of(key, num_shards)
+            name = _task_name(shard, key)
+            if key in existing:
+                # Already queued/finished — but a *pending* task carrying
+                # a stale shard prefix (submitted under a different
+                # num_shards) would be invisible to shard-pinned workers
+                # of the current layout; re-shard it by rename.
+                old_name = pending_names.get(key)
+                if old_name is not None and old_name != name:
+                    try:
+                        os.rename(
+                            self._dir("pending") / old_name,
+                            self._dir("pending") / name,
+                        )
+                    except FileNotFoundError:
+                        pass  # claimed in the meantime; its worker owns it
+                continue
+            existing.add(key)
+            payload = {
+                "schema": TASK_SCHEMA,
+                "key": key,
+                "shard": shard,
+                "num_shards": num_shards,
+                "spec": spec.to_jsonable(),
+                "enqueued_at": time.time(),
+            }
+            atomic_write_bytes(
+                self._dir("pending") / name,
+                json.dumps(payload, sort_keys=True).encode("utf-8"),
+            )
+        return keys
+
+    # ------------------------------------------------------------------
+    # the claim/complete lifecycle
+    # ------------------------------------------------------------------
+    def claim(
+        self, worker_id: str, shard: Optional[int] = None
+    ) -> Optional[ClaimedTask]:
+        """Atomically take ownership of one pending task (or ``None``).
+
+        ``shard`` restricts the scan to tasks owned by that shard.  The
+        winning transition is a rename into ``claimed/``; losing a race
+        just moves on to the next candidate.
+        """
+        prefix = f"s{shard:04d}-" if shard is not None else ""
+        for name in self._names("pending"):
+            if prefix and not name.startswith(prefix):
+                continue
+            source = self._dir("pending") / name
+            target = self._dir("claimed") / name
+            target.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                os.rename(source, target)
+            except FileNotFoundError:
+                continue  # another worker won this one
+            now = time.time()
+            try:
+                # Stamp the claim: rename preserves mtime, but the
+                # missing-lease grace in requeue_expired must measure
+                # time since *claiming*, not since submission.
+                os.utime(target)
+            except OSError:
+                pass
+            atomic_write_bytes(
+                self._lease_path(name),
+                json.dumps(
+                    {
+                        "schema": LEASE_SCHEMA,
+                        "task": name,
+                        "worker": worker_id,
+                        "claimed_at": now,
+                        "expires_at": now + self.lease_seconds,
+                    },
+                    sort_keys=True,
+                ).encode("utf-8"),
+            )
+            try:
+                payload = json.loads(target.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                # Unreadable payload (racing scavenger, torn submit):
+                # hand the claim straight back rather than stranding it
+                # in claimed/ under a fresh lease for a full window.
+                try:
+                    os.rename(target, source)
+                except FileNotFoundError:
+                    pass
+                self._drop_lease(name)
+                continue
+            return ClaimedTask(
+                name=name,
+                key=payload["key"],
+                # The filename is authoritative: a re-sharded task keeps
+                # its original payload but lives under the new prefix.
+                shard=_shard_of_task_name(name),
+                payload=payload,
+                worker=worker_id,
+            )
+        return None
+
+    def _owns(self, task: ClaimedTask) -> bool:
+        """Whether ``task``'s claim in ``claimed/`` still belongs to its worker.
+
+        After a lease expires and the task is re-claimed, the *same
+        filename* in ``claimed/`` belongs to the successor — the original
+        worker must not complete/fail/release on its behalf.
+        """
+        lease = self._read_lease(task.name)
+        return lease is None or lease.get("worker") == task.worker
+
+    def complete(self, task: ClaimedTask) -> None:
+        """Mark a claimed task solved (idempotent; lease is released)."""
+        if not self._owns(task):
+            # Our lease expired and a successor re-claimed this name;
+            # our report is already in the store, so this is a success —
+            # but the claim (and its lease) now belongs to them.
+            return
+        source = self._dir("claimed") / task.name
+        target = self._dir("done") / task.name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.rename(source, target)
+        except FileNotFoundError:
+            # Our lease expired and the task was requeued (and possibly
+            # re-done).  Our report is already in the store, so this is
+            # a success, not an error.
+            pass
+        self._drop_lease(task.name)
+
+    def release(self, task: ClaimedTask) -> None:
+        """Voluntarily hand a claimed task back to ``pending/``."""
+        if not self._owns(task):
+            return
+        try:
+            os.rename(self._dir("claimed") / task.name, self._dir("pending") / task.name)
+        except FileNotFoundError:
+            pass
+        self._drop_lease(task.name)
+
+    def fail(self, task: ClaimedTask, error: str) -> None:
+        """Dead-letter a claimed task whose solve raised (terminal state).
+
+        Retrying would only crash the next worker too (solves are
+        deterministic), so a failed task parks in ``failed/`` with the
+        error recorded alongside — keeping the queue drainable and the
+        workers alive.  Idempotent, like :meth:`complete`.
+        """
+        if not self._owns(task):
+            # A successor re-claimed this name after our lease lapsed;
+            # their (possibly successful) attempt owns the outcome now —
+            # dead-lettering it on their behalf would strand good work.
+            return
+        source = self._dir("claimed") / task.name
+        target = self._dir("failed") / task.name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        # ".error" suffix keeps the sidecar out of the task-name scans.
+        atomic_write_bytes(
+            self._dir("failed") / f"{task.name}.error",
+            json.dumps(
+                {"task": task.name, "key": task.key, "error": error},
+                sort_keys=True,
+            ).encode("utf-8"),
+        )
+        try:
+            os.rename(source, target)
+        except FileNotFoundError:
+            pass
+        self._drop_lease(task.name)
+
+    def failures(self) -> Dict[str, str]:
+        """Canonical key → recorded error message for failed tasks."""
+        out: Dict[str, str] = {}
+        for name in self._names("failed"):
+            key = _key_of_task_name(name)
+            error_path = self._dir("failed") / f"{name}.error"
+            try:
+                out[key] = json.loads(error_path.read_text(encoding="utf-8"))["error"]
+            except (OSError, json.JSONDecodeError, KeyError):
+                out[key] = "unknown error (sidecar missing or unreadable)"
+        return out
+
+    def retry_failed(self, key: Optional[str] = None) -> int:
+        """Move dead-lettered tasks back to ``pending/`` for another try.
+
+        The recovery path after fixing a transient cause (disk full,
+        OOM-killed worker): without it a failed key would block every
+        future drain containing it, since submission dedupes against
+        ``failed/`` and workers never scan it.  ``key`` retries one
+        task; ``None`` retries them all.  Returns how many moved.
+        """
+        moved = 0
+        for name in self._names("failed"):
+            if key is not None and _key_of_task_name(name) != key:
+                continue
+            pending = self._dir("pending")
+            pending.mkdir(parents=True, exist_ok=True)
+            try:
+                os.rename(self._dir("failed") / name, pending / name)
+            except FileNotFoundError:
+                continue
+            try:
+                (self._dir("failed") / f"{name}.error").unlink()
+            except OSError:
+                pass
+            moved += 1
+        return moved
+
+    def reopen(self, key: str) -> bool:
+        """Move a *done* task back to ``pending/`` (report was lost).
+
+        The recovery path for the rare case where a completed task's
+        stored report is later found corrupt (and quarantined by the
+        store): reopening puts the spec back in front of the workers.
+        Returns whether a done marker for ``key`` was found and moved.
+        """
+        for name in self._names("done"):
+            if _key_of_task_name(name) != key:
+                continue
+            pending = self._dir("pending")
+            pending.mkdir(parents=True, exist_ok=True)
+            try:
+                os.rename(self._dir("done") / name, pending / name)
+            except FileNotFoundError:
+                continue
+            return True
+        return False
+
+    def requeue_expired(self, now: Optional[float] = None) -> int:
+        """Return lapsed claims to ``pending/``; returns how many moved.
+
+        A claim is lapsed when its lease has expired, or when the lease
+        sidecar is missing and the claim file itself is older than the
+        lease window (covering a worker that died between the rename and
+        the lease write).
+        """
+        now = time.time() if now is None else now
+        moved = 0
+        for name in self._names("claimed"):
+            claim_path = self._dir("claimed") / name
+            lease = self._read_lease(name)
+            if lease is not None:
+                if float(lease.get("expires_at", 0.0)) > now:
+                    continue
+            else:
+                try:
+                    claimed_at = claim_path.stat().st_mtime
+                except FileNotFoundError:
+                    continue
+                if now - claimed_at <= self.lease_seconds:
+                    continue
+            pending = self._dir("pending")
+            pending.mkdir(parents=True, exist_ok=True)
+            try:
+                os.rename(claim_path, pending / name)
+            except FileNotFoundError:
+                continue  # racing scavenger/completer got there first
+            self._drop_lease(name)
+            moved += 1
+        return moved
+
+    def _read_lease(self, name: str) -> Optional[Dict[str, Any]]:
+        try:
+            data = json.loads(self._lease_path(name).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(data, dict) or data.get("schema") != LEASE_SCHEMA:
+            return None
+        return data
+
+    def _drop_lease(self, name: str) -> None:
+        try:
+            self._lease_path(name).unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Task counts per state."""
+        return {state: len(self._names(state)) for state in _STATES}
+
+    def is_drained(self) -> bool:
+        """Whether no task is pending or claimed (everything is done)."""
+        counts = self.counts()
+        return counts["pending"] == 0 and counts["claimed"] == 0
+
+    def done_keys(self) -> List[str]:
+        """Canonical keys of completed tasks."""
+        return [_key_of_task_name(name) for name in self._names("done")]

@@ -1,0 +1,213 @@
+"""The cooperative queue worker: claim → solve → store → complete.
+
+A worker owns no long-lived state: it drains tasks from a shared
+:class:`~repro.cluster.queue.WorkQueue`, solves each spec through the
+ordinary :func:`repro.api.service.solve` path with the shared
+:class:`~repro.store.ReportStore` attached (so a key another worker —
+or any earlier run — already solved is a store hit, not a duplicate
+solve), and marks the task done.  Any number of workers, started at any
+time on any host sharing the filesystem, cooperate on one batch; results
+are bit-identical to a serial ``solve_many`` because spec construction
+and the solvers are deterministic.
+
+Start one from the shell with ``python -m repro.cluster worker`` or
+in-process via :func:`run_worker`; :func:`spawn_local_workers` launches a
+pool of subprocess workers for single-host scale-out and tests.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+import uuid
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.cluster.queue import WorkQueue
+from repro.store.report_store import ReportStore
+from repro.util.errors import ConfigurationError
+
+
+def _default_worker_id() -> str:
+    return f"{os.uname().nodename if hasattr(os, 'uname') else 'host'}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+def run_worker(
+    queue: Union[str, Path, WorkQueue],
+    store: Union[str, Path, ReportStore],
+    worker_id: Optional[str] = None,
+    shard: Optional[int] = None,
+    poll_seconds: float = 0.2,
+    max_tasks: Optional[int] = None,
+    exit_when_empty: bool = False,
+    lease_seconds: Optional[float] = None,
+) -> Dict[str, int]:
+    """Drain tasks from ``queue`` into ``store`` until told to stop.
+
+    Parameters
+    ----------
+    queue, store:
+        The shared work queue and report store (paths are opened).
+    worker_id:
+        Lease owner label; defaults to ``<host>-<pid>-<nonce>``.
+    shard:
+        Restrict claims to one shard (cooperating workers may also run
+        unpinned and claim anything).
+    poll_seconds:
+        Idle sleep between empty claim scans.
+    max_tasks:
+        Stop after completing this many tasks (``None`` = unbounded).
+    exit_when_empty:
+        Return once the queue is fully drained (pending and claimed both
+        empty) instead of polling forever — the batch-mode contract used
+        by ``python -m repro.cluster drain``.
+
+    Returns counters: tasks completed, reports solved live, store hits.
+    """
+    if poll_seconds <= 0:
+        raise ConfigurationError(f"poll_seconds must be positive, got {poll_seconds}")
+    if isinstance(queue, WorkQueue):
+        if lease_seconds is not None and lease_seconds != queue.lease_seconds:
+            raise ConfigurationError(
+                "lease_seconds conflicts with the passed WorkQueue's "
+                f"({lease_seconds} vs {queue.lease_seconds}); configure it "
+                "on the queue instead"
+            )
+    else:
+        queue = (
+            WorkQueue(queue)
+            if lease_seconds is None
+            else WorkQueue(queue, lease_seconds=lease_seconds)
+        )
+    if not isinstance(store, ReportStore):
+        store = ReportStore(store)
+    worker_id = worker_id or _default_worker_id()
+
+    from repro.api.service import solve  # deferred: keep worker import light
+
+    stats = {"completed": 0, "solved": 0, "store_hits": 0, "failed": 0}
+    while True:
+        queue.requeue_expired()
+        task = queue.claim(worker_id, shard=shard)
+        if task is None:
+            if exit_when_empty and queue.is_drained():
+                break
+            time.sleep(poll_seconds)
+            continue
+        try:
+            report = solve(task.spec, store=store)
+        except Exception as exc:  # noqa: BLE001 - one bad spec must not kill the worker
+            # Solves are deterministic, so retrying would crash the next
+            # worker too: dead-letter the task and keep draining.
+            queue.fail(task, f"{type(exc).__name__}: {exc}")
+            stats["failed"] += 1
+            continue
+        if report.cached:
+            stats["store_hits"] += 1
+        else:
+            stats["solved"] += 1
+        queue.complete(task)
+        stats["completed"] += 1
+        if max_tasks is not None and stats["completed"] >= max_tasks:
+            break
+    return stats
+
+
+def worker_command(
+    queue_root: Union[str, Path],
+    store_root: Union[str, Path],
+    shard: Optional[int] = None,
+    poll_seconds: float = 0.2,
+    exit_when_empty: bool = True,
+    lease_seconds: Optional[float] = None,
+    jobs: Optional[int] = None,
+) -> List[str]:
+    """The ``python -m repro.cluster worker`` argv for these settings."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.cluster",
+        "worker",
+        "--queue",
+        str(queue_root),
+        "--store",
+        str(store_root),
+        "--poll",
+        str(poll_seconds),
+    ]
+    if shard is not None:
+        cmd.extend(["--shard", str(shard)])
+    if exit_when_empty:
+        cmd.append("--exit-when-empty")
+    if lease_seconds is not None:
+        cmd.extend(["--lease", str(lease_seconds)])
+    if jobs is not None:
+        cmd.extend(["--jobs", str(jobs)])
+    return cmd
+
+
+@contextmanager
+def spawn_local_workers(
+    num_workers: int,
+    queue_root: Union[str, Path],
+    store_root: Union[str, Path],
+    pin_shards: bool = False,
+    poll_seconds: float = 0.1,
+    exit_when_empty: bool = True,
+    lease_seconds: Optional[float] = None,
+    shutdown_timeout: Optional[float] = None,
+) -> Iterator[List[subprocess.Popen]]:
+    """Run ``num_workers`` subprocess workers against one queue + store.
+
+    With ``pin_shards`` every worker claims only its own shard
+    (``shard=i`` of ``num_workers``); otherwise all workers compete for
+    any task.  On exit the workers are waited for (batch mode) or
+    terminated (polling mode); ``shutdown_timeout`` bounds the batch-mode
+    wait — a reused queue may hold *foreign* pending tasks the workers
+    would otherwise keep draining long after the caller's batch is done
+    — after which the workers are terminated (their claimed tasks requeue
+    via lease expiry).
+    """
+    if num_workers < 1:
+        raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    procs: List[subprocess.Popen] = []
+    try:
+        for index in range(num_workers):
+            cmd = worker_command(
+                queue_root,
+                store_root,
+                shard=index if pin_shards else None,
+                poll_seconds=poll_seconds,
+                exit_when_empty=exit_when_empty,
+                lease_seconds=lease_seconds,
+            )
+            procs.append(subprocess.Popen(cmd, env=env))
+        yield procs
+    except BaseException:
+        # The gather failed (timeout, dead-lettered spec, interrupt):
+        # waiting for a batch-mode worker to finish draining would hold
+        # the caller long past its own deadline — kill them instead.
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+                proc.wait()
+        raise
+    else:
+        for proc in procs:
+            if exit_when_empty:
+                try:
+                    proc.wait(timeout=shutdown_timeout)
+                except subprocess.TimeoutExpired:
+                    proc.terminate()
+                    proc.wait()
+            elif proc.poll() is None:
+                proc.terminate()
+                proc.wait()

@@ -183,11 +183,70 @@ class LengthFunction:
     # updates
     # ------------------------------------------------------------------
     def multiply(self, edge_ids: np.ndarray, factors: np.ndarray) -> None:
-        """Multiply the lengths of ``edge_ids`` by ``factors`` (elementwise)."""
+        """Multiply the lengths of ``edge_ids`` by ``factors`` (elementwise).
+
+        ``edge_ids`` must not repeat an edge: fancy-indexed in-place
+        multiplication applies one factor per position, and a repeated id
+        would silently keep only its last factor.  The solver hot loops
+        satisfy this by construction (a tree visits each physical edge
+        once); callers holding an *accumulated batch* of updates — where
+        several (edge, factor) pairs may hit the same edge — use
+        :meth:`multiply_batch`.
+        """
         factors = np.asarray(factors, dtype=float)
         if np.any(factors <= 0):
             raise ConfigurationError("length update factors must be positive")
         self._rel[np.asarray(edge_ids, dtype=np.int64)] *= factors
+        self._renormalize()
+
+    def multiply_batch(self, edge_ids: np.ndarray, factors: np.ndarray) -> None:
+        """Apply a batch of (edge, factor) updates in one vectorised op.
+
+        The batched form of :meth:`multiply`: ``edge_ids`` may repeat an
+        edge (``np.multiply.at`` accumulates every factor instead of
+        keeping the last), so a caller can concatenate the updates of
+        many trees/steps and apply them in a single NumPy call instead
+        of one ``multiply`` per step.  Equivalent to — and bit-compatible
+        with, up to one shared renormalisation — the sequential loop, as
+        multiplication is commutative.
+        """
+        edge_ids = np.asarray(edge_ids, dtype=np.int64)
+        factors = np.asarray(factors, dtype=float)
+        if edge_ids.shape != factors.shape:
+            raise ConfigurationError(
+                f"edge_ids and factors must have matching shapes, got "
+                f"{edge_ids.shape} and {factors.shape}"
+            )
+        if np.any(factors <= 0) or not np.all(np.isfinite(factors)):
+            raise ConfigurationError(
+                "length update factors must be positive and finite"
+            )
+        self._multiply_batch_checked(edge_ids, factors)
+
+    def _multiply_batch_checked(self, edge_ids: np.ndarray, factors: np.ndarray) -> None:
+        """Accumulate a validated batch, splitting on double overflow.
+
+        A batch coalescing thousands of factors onto one edge can
+        overflow IEEE range before the single end-of-batch
+        renormalisation that the sequential loop performs per call.  On
+        overflow, roll back and apply the batch in halves (renormalising
+        between), restoring the loop's robustness at ~log cost.
+        """
+        rel_before = self._rel.copy()
+        with np.errstate(over="ignore"):
+            np.multiply.at(self._rel, edge_ids, factors)
+        if not np.all(np.isfinite(self._rel)):
+            # Restore in place: callers may hold .relative views, which
+            # every other mutator keeps live by never rebinding _rel.
+            self._rel[:] = rel_before
+            if edge_ids.size <= 1:
+                raise ConfigurationError(
+                    "length update factor overflows the double range"
+                )
+            half = edge_ids.size // 2
+            self._multiply_batch_checked(edge_ids[:half], factors[:half])
+            self._multiply_batch_checked(edge_ids[half:], factors[half:])
+            return
         self._renormalize()
 
     def multiply_dense(self, factors: np.ndarray) -> None:

@@ -13,6 +13,14 @@ process-pool parallel mode: pass ``jobs=`` to a sweep function, export
 ``REPRO_JOBS``, or use the section CLIs' ``--jobs`` flag.  Parallel runs
 produce bit-identical results to serial ones — each worker rebuilds the
 (deterministic) instance from the scale name and solves whole cells.
+
+The spec-representable sweeps (the flat ratio sweeps, the Section VI
+grid, and the limited-tree fractional reference) can additionally route
+through a persistent :class:`repro.store.ReportStore` — pass ``store=``
+or export ``REPRO_STORE`` — in which case each cell solves through
+``repro.api.solve_many`` on its declarative scenario spec (bit-identical
+to the direct path, per the Scenario API contract) and re-running a
+sweep in a fresh process performs zero solver calls.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ import numpy as np
 
 from repro.api.service import solve_instance
 from repro.api.specs import ScenarioSpec
+from repro.store.report_store import StoreLike, resolve_store
 from repro.core.result import FlowSolution
 from repro.core.rounding import RandomMinCongestion
 from repro.experiments.settings import (
@@ -123,22 +132,53 @@ def flat_scenario_spec(
     return flat_setting_for_scale(scale).scenario_spec(routing_kind, algorithm, ratio)
 
 
+def _solve_specs_store_backed(
+    specs: Sequence[ScenarioSpec], jobs: Optional[int], store
+) -> List[FlowSolution]:
+    """Solve sweep cells through the batch service + persistent store.
+
+    The Scenario API contract (each ``*_scenario_spec`` reproduces its
+    direct-path cell bit-identically) is what makes this a pure routing
+    decision: results match ``_map_cells`` exactly, but warm store keys
+    skip the solver entirely.
+    """
+    from repro.api.service import solve_many
+
+    return [report.solution for report in solve_many(specs, jobs=jobs, store=store)]
+
+
 def flat_ratio_sweep(
-    scale: str, routing_kind: str, algorithm: str, jobs: Optional[int] = None
+    scale: str,
+    routing_kind: str,
+    algorithm: str,
+    jobs: Optional[int] = None,
+    store: StoreLike = None,
 ) -> Dict[float, FlowSolution]:
     """Solve the flat instance for every approximation ratio of the setting.
 
     ``algorithm`` is ``"maxflow"`` or ``"maxconcurrent"``.  Results are
     cached per (scale, routing kind, algorithm); ``jobs`` controls how
-    many ratio cells solve concurrently on an uncached first call.
+    many ratio cells solve concurrently on an uncached first call.  With
+    a persistent store (``store=`` or ``REPRO_STORE``), cells route
+    through the spec path and re-runs come back without solver work.
     """
     if algorithm not in ("maxflow", "maxconcurrent"):
         raise ConfigurationError(f"unknown algorithm {algorithm!r}")
     key = (scale, routing_kind, algorithm)
     if key not in _FLAT_SWEEPS:
         setting = flat_instance(scale, routing_kind).setting
-        tasks = [(scale, routing_kind, algorithm, ratio) for ratio in setting.ratios]
-        results = _map_cells(_solve_flat_cell, tasks, jobs)
+        resolved_store = resolve_store(store)
+        if resolved_store is not None:
+            specs = [
+                flat_scenario_spec(scale, routing_kind, algorithm, ratio)
+                for ratio in setting.ratios
+            ]
+            results = _solve_specs_store_backed(specs, jobs, resolved_store)
+        else:
+            tasks = [
+                (scale, routing_kind, algorithm, ratio) for ratio in setting.ratios
+            ]
+            results = _map_cells(_solve_flat_cell, tasks, jobs)
         _FLAT_SWEEPS[key] = dict(zip(setting.ratios, results))
     return _FLAT_SWEEPS[key]
 
@@ -182,18 +222,27 @@ class LimitedTreeStudy:
         return out
 
 
-def _limited_tree_fractional(scale: str, routing_kind: str) -> FlowSolution:
+def _limited_tree_fractional(
+    scale: str, routing_kind: str, store: StoreLike = None
+) -> FlowSolution:
     """The (cached) fractional MaxConcurrentFlow reference solution."""
     key = (scale, routing_kind)
     if key not in _LIMITED_TREE_FRACTIONALS:
-        instance = flat_instance(scale, routing_kind)
-        setting = limited_tree_setting_for_scale(scale)
-        solver, params = instance.setting.solver_spec(
-            "maxconcurrent", setting.fractional_ratio
-        )
-        _LIMITED_TREE_FRACTIONALS[key] = solve_instance(
-            solver, instance.sessions, instance.routing, params
-        )
+        resolved_store = resolve_store(store)
+        if resolved_store is not None:
+            spec = fractional_scenario_spec(scale, routing_kind)
+            _LIMITED_TREE_FRACTIONALS[key] = _solve_specs_store_backed(
+                [spec], jobs=1, store=resolved_store
+            )[0]
+        else:
+            instance = flat_instance(scale, routing_kind)
+            setting = limited_tree_setting_for_scale(scale)
+            solver, params = instance.setting.solver_spec(
+                "maxconcurrent", setting.fractional_ratio
+            )
+            _LIMITED_TREE_FRACTIONALS[key] = solve_instance(
+                solver, instance.sessions, instance.routing, params
+            )
     return _LIMITED_TREE_FRACTIONALS[key]
 
 
@@ -286,15 +335,23 @@ def fractional_scenario_spec(scale: str, routing_kind: str) -> ScenarioSpec:
 
 
 def limited_tree_study(
-    scale: str, routing_kind: str = "ip", jobs: Optional[int] = None
+    scale: str,
+    routing_kind: str = "ip",
+    jobs: Optional[int] = None,
+    store: StoreLike = None,
 ) -> LimitedTreeStudy:
-    """Run (or fetch) the Random/Online versus tree-limit study."""
+    """Run (or fetch) the Random/Online versus tree-limit study.
+
+    The fractional reference routes through the persistent store when
+    one is configured; the rounding/online cells are procedural (not
+    spec-representable) and always solve live.
+    """
     key = (scale, routing_kind)
     if key in _LIMITED_TREE_STUDIES:
         return _LIMITED_TREE_STUDIES[key]
 
     setting = limited_tree_setting_for_scale(scale)
-    fractional = _limited_tree_fractional(scale, routing_kind)
+    fractional = _limited_tree_fractional(scale, routing_kind, store=store)
     tasks = [
         (scale, routing_kind, limit, fractional) for limit in setting.tree_limits
     ]
@@ -358,17 +415,32 @@ def sweep_scenario_spec(scale: str, algorithm: str, count: int, size: int) -> Sc
 
 
 def sweep_runs(
-    scale: str, algorithm: str, jobs: Optional[int] = None
+    scale: str,
+    algorithm: str,
+    jobs: Optional[int] = None,
+    store: StoreLike = None,
 ) -> Dict[Tuple[int, int], FlowSolution]:
-    """MaxFlow or MaxConcurrentFlow over the whole (sessions x size) grid."""
+    """MaxFlow or MaxConcurrentFlow over the whole (sessions x size) grid.
+
+    With a persistent store (``store=`` or ``REPRO_STORE``), grid cells
+    route through the spec path so sweep re-runs skip solved cells.
+    """
     if algorithm not in ("maxflow", "maxconcurrent"):
         raise ConfigurationError(f"unknown algorithm {algorithm!r}")
     key = (scale, algorithm)
     if key not in _SWEEP_RUNS:
         instance = sweep_instance(scale)
         grid_points = list(instance.sessions)
-        tasks = [(scale, algorithm, gp) for gp in grid_points]
-        results = _map_cells(_solve_sweep_cell, tasks, jobs)
+        resolved_store = resolve_store(store)
+        if resolved_store is not None:
+            specs = [
+                sweep_scenario_spec(scale, algorithm, count, size)
+                for count, size in grid_points
+            ]
+            results = _solve_specs_store_backed(specs, jobs, resolved_store)
+        else:
+            tasks = [(scale, algorithm, gp) for gp in grid_points]
+            results = _map_cells(_solve_sweep_cell, tasks, jobs)
         _SWEEP_RUNS[key] = dict(zip(grid_points, results))
     return _SWEEP_RUNS[key]
 

@@ -13,7 +13,11 @@ from one PR to the next:
   the fixed/dynamic cost ratio visible),
 * the **tree-length evaluation** ablation: the sparse incidence mat-vec
   over the tree's physical edges (:meth:`OverlayTree.length`) versus the
-  dense full-``|E|`` dot product it replaced.
+  dense full-``|E|`` dot product it replaced,
+* the **length-update batching** ablation: one
+  :meth:`LengthFunction.multiply_batch` call over an accumulated batch
+  of (edge, factor) updates versus the per-step ``multiply`` loop it
+  coalesces.
 
 The record is a *trajectory*, not a snapshot: every run appends a
 compact entry to the ``history`` list (the latest run's full sections
@@ -47,8 +51,8 @@ from repro.util.errors import ConfigurationError
 from repro.util.rng import ensure_rng
 from repro.util.serialization import dump_json
 
-BENCH_SCHEMA = "BENCH_core/v2"
-_KNOWN_SCHEMAS = ("BENCH_core/v1", BENCH_SCHEMA)
+BENCH_SCHEMA = "BENCH_core/v3"
+_KNOWN_SCHEMAS = ("BENCH_core/v1", "BENCH_core/v2", BENCH_SCHEMA)
 
 
 @dataclass(frozen=True)
@@ -67,6 +71,12 @@ class PerfProfile:
     # seconds).
     length_bench_nodes: int = 600
     length_evals: int = 20000
+    # The multiply-batch ablation: how many accumulated (edge, factor)
+    # updates one batched call replaces, and how often to repeat the
+    # whole comparison for a stable timing.
+    multiply_updates: int = 512
+    multiply_edges_per_update: int = 24
+    multiply_reps: int = 50
     seed: int = 2004
 
 
@@ -80,6 +90,8 @@ TINY_PROFILE = PerfProfile(
     dynamic_ratio=0.75,
     length_bench_nodes=400,
     length_evals=2000,
+    multiply_updates=128,
+    multiply_reps=5,
 )
 QUICK_PROFILE = PerfProfile(
     name="quick",
@@ -193,6 +205,61 @@ def _timed_tree_length(profile: PerfProfile) -> Dict[str, float]:
     }
 
 
+def _timed_multiply_batch(profile: PerfProfile) -> Dict[str, float]:
+    """Ablation: one ``multiply_batch`` call versus a loop of ``multiply``.
+
+    Both arms apply the same accumulated batch of (edge, factor) updates
+    — edge ids repeat across updates, as they do when many tree updates
+    are coalesced — starting from identical length functions, so the
+    speedup isolates call-count overhead plus the vectorised
+    ``np.multiply.at`` accumulation.  Final lengths agree up to shared
+    renormalisation (multiplication is commutative); the equivalence is
+    asserted bit-level in the test suite, here we only time.
+    """
+    from repro.core.lengths import LengthFunction
+
+    rng = ensure_rng(profile.seed + 3)
+    num_edges = 4 * profile.length_bench_nodes  # a plausible |E| for the scale
+    updates = [
+        (
+            rng.choice(num_edges, profile.multiply_edges_per_update, replace=False),
+            rng.uniform(1.0, 1.2, profile.multiply_edges_per_update),
+        )
+        for _ in range(profile.multiply_updates)
+    ]
+    batch_ids = np.concatenate([ids for ids, _ in updates])
+    batch_factors = np.concatenate([factors for _, factors in updates])
+
+    loop_seconds = 0.0
+    batched_seconds = 0.0
+    for _ in range(profile.multiply_reps):
+        lengths = LengthFunction(num_edges, 0.0)
+        start = time.perf_counter()
+        for ids, factors in updates:
+            lengths.multiply(ids, factors)
+        loop_seconds += time.perf_counter() - start
+
+        lengths = LengthFunction(num_edges, 0.0)
+        start = time.perf_counter()
+        lengths.multiply_batch(batch_ids, batch_factors)
+        batched_seconds += time.perf_counter() - start
+
+    total_updates = float(profile.multiply_reps * profile.multiply_updates)
+    return {
+        "updates": float(profile.multiply_updates),
+        "edges_per_update": float(profile.multiply_edges_per_update),
+        "num_edges": float(num_edges),
+        "reps": float(profile.multiply_reps),
+        "loop_seconds": loop_seconds,
+        "batched_seconds": batched_seconds,
+        "loop_updates_per_sec": total_updates / loop_seconds if loop_seconds > 0 else 0.0,
+        "batched_updates_per_sec": (
+            total_updates / batched_seconds if batched_seconds > 0 else 0.0
+        ),
+        "batched_speedup": loop_seconds / batched_seconds if batched_seconds > 0 else 0.0,
+    }
+
+
 def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
     """Measure the oracle hot path and return one run's BENCH_core record."""
     profile = profile_for_scale(scale)
@@ -212,6 +279,7 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
         network, sessions, "dynamic", profile.dynamic_ratio, memoize=True
     )
     tree_length = _timed_tree_length(profile)
+    length_multiply = _timed_multiply_batch(profile)
 
     speedup = (
         fixed_unmemoized["seconds"] / fixed_memoized["seconds"]
@@ -239,6 +307,7 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
             "memoized": dynamic_memoized,
         },
         "tree_length": tree_length,
+        "length_multiply": length_multiply,
     }
 
 
@@ -261,6 +330,12 @@ def _history_entry(record: Dict[str, object]) -> Dict[str, object]:
             "sparse_evals_per_sec"
         )
         entry["tree_length_sparse_speedup"] = tree_length.get("sparse_speedup")
+    length_multiply = record.get("length_multiply", {})
+    if length_multiply:
+        entry["multiply_batched_updates_per_sec"] = length_multiply.get(
+            "batched_updates_per_sec"
+        )
+        entry["multiply_batched_speedup"] = length_multiply.get("batched_speedup")
     return entry
 
 

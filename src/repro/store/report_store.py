@@ -1,0 +1,363 @@
+"""A persistent, content-addressed store for solved reports.
+
+:class:`ReportStore` spills :class:`repro.api.service.SolveReport`s to
+disk keyed on :attr:`repro.api.specs.ScenarioSpec.canonical_key`, so
+repeated CLI runs, batch sweeps and cooperating worker processes skip
+every spec that has already been solved — anywhere, ever — instead of
+only within one process's report cache.
+
+Design
+------
+* **Content addressing.**  An entry's path is derived from its canonical
+  key alone (``objects/<key[:2]>/<key>.json[.gz]``), so ``get`` and
+  ``contains`` never need the index and multiple processes share one
+  store with no coordination.
+* **Atomic writes.**  Payloads are written tmp-file-then-rename
+  (:func:`repro.util.serialization.atomic_write_bytes`), so a reader
+  never sees a torn entry and two concurrent writers of the same key
+  each land a complete file (last writer wins; both wrote the same
+  deterministic report).
+* **Corruption detection.**  Each payload is an envelope carrying a
+  SHA-256 of its canonical report JSON.  ``get`` verifies the digest and
+  the schema; a corrupt entry is quarantined (deleted) and reported as a
+  miss, so the caller falls back to re-solving and the next ``put``
+  heals the store.
+* **Index.**  ``index.jsonl`` accumulates one schema-versioned JSON line
+  per put — provenance and bookkeeping for ``stats``/``prune``.  It is
+  advisory: lookups go through the content-addressed path, so a torn or
+  missing index line never loses data.
+* **LRU front.**  A small in-memory map of live reports serves repeated
+  gets in one process without re-reading and re-building solutions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import hashlib
+import json
+import os
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+from repro.util.errors import ConfigurationError, ReproError
+from repro.util.serialization import atomic_write_bytes, canonical_json, read_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service imports us)
+    from repro.api.service import SolveReport
+
+STORE_ENV_VAR = "REPRO_STORE"
+ENTRY_SCHEMA = "ReportStoreEntry/v1"
+INDEX_SCHEMA = "ReportStoreIndex/v1"
+
+StoreLike = Union[None, str, Path, "ReportStore"]
+
+
+def _canonical_bytes(data: Any) -> bytes:
+    """Deterministic JSON bytes (the repo-wide canonical encoding)."""
+    return canonical_json(data).encode("utf-8")
+
+
+class ReportStore:
+    """Content-addressed on-disk cache of solved reports.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on first use).
+    compress:
+        Gzip new payloads.  Reading is always format-agnostic — a store
+        may hold a mix of plain and gzipped entries.
+    memory_entries:
+        Capacity of the in-memory LRU front (0 disables it).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        compress: bool = False,
+        memory_entries: int = 128,
+    ) -> None:
+        self.root = Path(root)
+        self.compress = bool(compress)
+        if memory_entries < 0:
+            raise ConfigurationError(
+                f"memory_entries must be >= 0, got {memory_entries}"
+            )
+        self._memory_entries = int(memory_entries)
+        self._memory: "OrderedDict[str, SolveReport]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    @property
+    def _objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index.jsonl"
+
+    def _object_path(self, key: str, gz: bool) -> Path:
+        suffix = ".json.gz" if gz else ".json"
+        return self._objects_dir / key[:2] / f"{key}{suffix}"
+
+    def _find_object(self, key: str) -> Optional[Path]:
+        for gz in (self.compress, not self.compress):  # likely format first
+            path = self._object_path(key, gz)
+            if path.exists():
+                return path
+        return None
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        """Whether a (possibly unverified) entry for ``key`` is on disk."""
+        return key in self._memory or self._find_object(key) is not None
+
+    def put(self, report: "SolveReport") -> Path:
+        """Persist ``report`` under its canonical key; returns the entry path.
+
+        The stored report is normalised to ``cached=False`` so that a
+        report's bytes depend only on the solved spec, not on which cache
+        layer happened to serve it to the writer.
+        """
+        key = report.canonical_key
+        if report.cached:
+            # Normalise the object itself, not just the payload, so the
+            # memory front and the disk entry agree on what they serve.
+            report = dataclasses.replace(report, cached=False)
+        payload = report.to_jsonable()
+        report_bytes = _canonical_bytes(payload)
+        envelope = _canonical_bytes(
+            {
+                "schema": ENTRY_SCHEMA,
+                "key": key,
+                "sha256": hashlib.sha256(report_bytes).hexdigest(),
+                "report": payload,
+            }
+        )
+        data = gzip.compress(envelope) if self.compress else envelope
+        path = atomic_write_bytes(self._object_path(key, self.compress), data)
+        self._append_index(key, path, len(data))
+        self._remember(key, report)
+        return path
+
+    def get(self, key: str) -> Optional["SolveReport"]:
+        """Fetch and verify the report stored under ``key``.
+
+        Returns ``None`` — and quarantines the entry — when the entry is
+        missing, unreadable, schema-mismatched or fails its digest check,
+        so callers always fall back to a fresh solve.
+        """
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return self._memory[key]
+        path = self._find_object(key)
+        if path is None:
+            self.misses += 1
+            return None
+        report = self._load_entry(key, path)
+        if report is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._remember(key, report)
+        return report
+
+    def _load_entry(self, key: str, path: Path) -> Optional["SolveReport"]:
+        from repro.api.service import SolveReport
+
+        try:
+            envelope = json.loads(read_bytes(path).decode("utf-8"))
+            if (
+                envelope.get("schema") != ENTRY_SCHEMA
+                or envelope.get("key") != key
+            ):
+                raise ValueError("entry schema/key mismatch")
+            report_payload = envelope["report"]
+            digest = hashlib.sha256(_canonical_bytes(report_payload)).hexdigest()
+            if digest != envelope.get("sha256"):
+                raise ValueError("entry digest mismatch")
+            return SolveReport.from_jsonable(report_payload)
+        except (OSError, ValueError, KeyError, TypeError, EOFError, ReproError):
+            # ReproError covers reconstruction failures from the repo's
+            # own layers (schema mismatch, invalid spec/session data) —
+            # every flavour of bad entry must degrade to a miss, never
+            # propagate to callers that promised to fall back to a solve.
+            self.corrupt += 1
+            self._quarantine(path)
+            return None
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _remember(self, key: str, report: "SolveReport") -> None:
+        if self._memory_entries == 0:
+            return
+        self._memory[key] = report
+        self._memory.move_to_end(key)
+        while len(self._memory) > self._memory_entries:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # index, stats and pruning
+    # ------------------------------------------------------------------
+    def _append_index(self, key: str, path: Path, num_bytes: int) -> None:
+        line = _canonical_bytes(
+            {
+                "schema": INDEX_SCHEMA,
+                "key": key,
+                "file": str(path.relative_to(self.root)),
+                "gzip": path.suffix == ".gz",
+                "bytes": num_bytes,
+                "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            }
+        ) + b"\n"
+        self.root.mkdir(parents=True, exist_ok=True)
+        # O_APPEND + one small write: concurrent putters each land a
+        # whole line in practice; a torn line is skipped on read and the
+        # object file (the source of truth) is unaffected.
+        with self._index_path.open("ab") as fh:
+            fh.write(line)
+
+    def index_entries(self) -> List[Dict[str, Any]]:
+        """Parse the JSONL index, skipping torn/foreign lines."""
+        if not self._index_path.exists():
+            return []
+        entries: List[Dict[str, Any]] = []
+        with self._index_path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(entry, dict) and entry.get("schema") == INDEX_SCHEMA:
+                    entries.append(entry)
+        return entries
+
+    def _disk_entries(self) -> List[Path]:
+        if not self._objects_dir.exists():
+            return []
+        return sorted(
+            p
+            for p in self._objects_dir.glob("*/*")
+            if p.suffix == ".json" or p.name.endswith(".json.gz")
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Store counters: disk entries/bytes, memory front, hit/miss/corrupt."""
+        paths = self._disk_entries()
+        total = 0
+        for p in paths:
+            try:
+                total += p.stat().st_size
+            except OSError:
+                pass
+        return {
+            "entries": len(paths),
+            "bytes": total,
+            "index_lines": len(self.index_entries()),
+            "memory_entries": len(self._memory),
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+        }
+
+    def prune(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+    ) -> int:
+        """Delete entries beyond ``max_entries`` (oldest-first) or older
+        than ``max_age_seconds``; returns the number removed.
+
+        The index is compacted to the surviving entries so it does not
+        grow without bound across put/prune cycles.
+        """
+        if max_entries is not None and max_entries < 0:
+            raise ConfigurationError(f"max_entries must be >= 0, got {max_entries}")
+        paths = self._disk_entries()
+        stamped = []
+        for p in paths:
+            try:
+                stamped.append((p.stat().st_mtime, p))
+            except OSError:
+                continue
+        stamped.sort()  # oldest first
+        doomed: set = set()
+        if max_age_seconds is not None:
+            cutoff = time.time() - max_age_seconds
+            doomed.update(p for mtime, p in stamped if mtime < cutoff)
+        if max_entries is not None and len(stamped) - len(doomed) > max_entries:
+            survivors = [(m, p) for m, p in stamped if p not in doomed]
+            excess = len(survivors) - max_entries
+            doomed.update(p for _, p in survivors[:excess])
+        removed_keys = set()
+        for path in doomed:
+            removed_keys.add(path.name.split(".")[0])
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        for key in removed_keys:
+            self._memory.pop(key, None)
+        self._compact_index()
+        return len(doomed)
+
+    def _compact_index(self) -> None:
+        """Rewrite the index to one line per surviving disk entry."""
+        survivors = {p.name.split(".")[0] for p in self._disk_entries()}
+        latest: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        for entry in self.index_entries():
+            key = entry.get("key")
+            if key in survivors:
+                latest[key] = entry  # last write wins
+        data = b"".join(_canonical_bytes(e) + b"\n" for e in latest.values())
+        atomic_write_bytes(self._index_path, data)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory LRU front (disk entries are untouched)."""
+        self._memory.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReportStore({str(self.root)!r}, compress={self.compress})"
+
+
+_env_stores: Dict[str, ReportStore] = {}
+
+
+def resolve_store(store: StoreLike) -> Optional[ReportStore]:
+    """Coerce a ``store=`` argument into a :class:`ReportStore` (or None).
+
+    ``None`` consults the ``REPRO_STORE`` environment variable — set it
+    to a directory path to make every ``solve``/``solve_many`` in the
+    process persistent without touching call sites.  The env-resolved
+    store is memoized per path, so its in-memory LRU front and counters
+    accumulate across calls instead of resetting on every resolve.
+    Strings and paths open a store at that location; an existing store
+    passes through.
+    """
+    if isinstance(store, ReportStore):
+        return store
+    if store is None:
+        env = os.environ.get(STORE_ENV_VAR)
+        if not env:
+            return None
+        if env not in _env_stores:
+            _env_stores[env] = ReportStore(env)
+        return _env_stores[env]
+    return ReportStore(store)

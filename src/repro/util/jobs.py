@@ -11,8 +11,9 @@ then 1 (serial).  ``0`` always means "all CPU cores".
 
 from __future__ import annotations
 
+import contextlib
 import os
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.util.errors import ConfigurationError
 
@@ -36,6 +37,26 @@ def configure_jobs(jobs: Optional[int]) -> Optional[int]:
     previous = _configured_jobs
     _configured_jobs = None if jobs is None else _validate_jobs(jobs)
     return previous
+
+
+@contextlib.contextmanager
+def jobs_context(jobs: Optional[int]) -> Iterator[None]:
+    """Scope :func:`configure_jobs` to a ``with`` block.
+
+    The CLI entry points (``python -m repro.api``, ``python -m
+    repro.cluster``) install their ``--jobs`` flag process-wide for the
+    duration of one command and restore the previous value afterwards,
+    so in-process callers of their ``main()`` functions are unaffected.
+    ``None`` leaves the configuration untouched.
+    """
+    if jobs is None:
+        yield
+        return
+    previous = configure_jobs(jobs)
+    try:
+        yield
+    finally:
+        configure_jobs(previous)
 
 
 def default_jobs() -> int:

@@ -3,17 +3,37 @@
 Experiment results contain numpy scalars/arrays and dataclasses; these
 helpers convert them into plain JSON-compatible structures so that runs
 can be archived and later diffed against the paper's reported numbers.
+
+The module also provides the file-level primitives the persistent layers
+(:mod:`repro.store`, :mod:`repro.cluster`) build on: atomic byte writes
+(tmp file + rename, so concurrent writers of one path never tear each
+other's output) and transparent gzip on a ``.gz`` suffix.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import gzip
 import json
+import os
+import secrets
 import typing
 from pathlib import Path
 from typing import Any, Type, TypeVar, Union
 
 import numpy as np
+
+GZIP_MAGIC = b"\x1f\x8b"
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace).
+
+    The single definition of the canonical form every content digest in
+    the repo is computed over — spec ``canonical_key``s and store entry
+    checksums must agree on it byte-for-byte.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 T = TypeVar("T")
 
@@ -31,6 +51,14 @@ def to_jsonable(obj: Any) -> Any:
     if isinstance(obj, np.ndarray):
         return [to_jsonable(x) for x in obj.tolist()]
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        # A dataclass may customise its JSON shape (e.g. omit a default
+        # field to keep digests stable) via __jsonable__, which returns
+        # a plain field dict for this walker to finish converting.  The
+        # hook applies at *every* nesting depth — an override of a
+        # to_jsonable() entry-point method would silently not.
+        custom = getattr(obj, "__jsonable__", None)
+        if callable(custom):
+            return to_jsonable(custom())
         return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
     if isinstance(obj, dict):
         return {str(k): to_jsonable(v) for k, v in obj.items()}
@@ -158,17 +186,63 @@ def _coerce_key(key_tp: Any, key: str) -> Any:
     return key
 
 
-def dump_json(obj: Any, path: Union[str, Path], indent: int = 2) -> Path:
-    """Serialise ``obj`` (via :func:`to_jsonable`) to ``path``."""
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (tmp file in-dir + rename).
+
+    ``os.replace`` is atomic on POSIX, so readers see either the old
+    content or the new content, never a torn mix — and two concurrent
+    writers of the same path each land a complete file (last one wins).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as fh:
-        json.dump(to_jsonable(obj), fh, indent=indent, sort_keys=True)
-        fh.write("\n")
+    # Not mkstemp: its hardwired 0600 mode would make published store
+    # entries and queue tasks unreadable to cooperating processes under
+    # other users.  Creating with mode 0666 lets the kernel apply the
+    # umask atomically — no process-global umask probing needed.
+    tmp_name = str(path.parent / f".{path.name}.{secrets.token_hex(8)}.tmp")
+    fd = os.open(tmp_name, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o666)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_bytes(path: Union[str, Path]) -> bytes:
+    """Read a file's bytes, transparently gunzipping gzip content."""
+    raw = Path(path).read_bytes()
+    if raw[:2] == GZIP_MAGIC:
+        return gzip.decompress(raw)
+    return raw
+
+
+def dump_json(
+    obj: Any, path: Union[str, Path], indent: int = 2, atomic: bool = False
+) -> Path:
+    """Serialise ``obj`` (via :func:`to_jsonable`) to ``path``.
+
+    A ``.gz`` suffix gzips the payload; ``atomic=True`` routes the write
+    through :func:`atomic_write_bytes` so concurrent writers never tear.
+    """
+    path = Path(path)
+    text = json.dumps(to_jsonable(obj), indent=indent, sort_keys=True) + "\n"
+    data = text.encode("utf-8")
+    if path.suffix == ".gz":
+        data = gzip.compress(data)
+    if atomic:
+        return atomic_write_bytes(path, data)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as fh:
+        fh.write(data)
     return path
 
 
 def load_json(path: Union[str, Path]) -> Any:
-    """Load JSON content written by :func:`dump_json`."""
-    with Path(path).open("r", encoding="utf-8") as fh:
-        return json.load(fh)
+    """Load JSON content written by :func:`dump_json` (gzip-aware)."""
+    return json.loads(read_bytes(path).decode("utf-8"))

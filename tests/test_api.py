@@ -89,6 +89,19 @@ class TestSpecRoundTrips:
         with pytest.raises(TypeError):
             from_jsonable(TopologySpec, {"generator": 42})
 
+    def test_specs_are_hashable_despite_dict_fields(self, scenario):
+        # Frozen dataclasses with dict fields (params/solver_params/
+        # demand_distribution) hash by content digest, so specs work in
+        # sets and as dict keys; equal specs collapse to one entry.
+        twin = ScenarioSpec.from_json(scenario.to_json())
+        assert len({scenario, twin}) == 1
+        distributed = WorkloadSpec(
+            sizes=(3,),
+            demand_distribution={"kind": "uniform", "low": 1.0, "high": 2.0},
+        )
+        assert len({distributed, distributed}) == 1
+        assert hash(scenario.topology) == hash(twin.topology)
+
 
 class TestSpecConstruction:
     def test_topology_build_matches_direct_generator(self):
@@ -122,6 +135,179 @@ class TestSpecConstruction:
             WorkloadSpec()  # neither mode
         with pytest.raises(ConfigurationError):
             WorkloadSpec(sizes=(3,), sessions=(SessionSpec((0, 1)),))  # both
+
+
+class TestDemandDistribution:
+    def test_default_is_omitted_from_json_preserving_canonical_keys(self):
+        # The field must not perturb the digest of pre-existing specs:
+        # its default is absent from the JSON form entirely.
+        workload = WorkloadSpec(sizes=(4, 3), demand=100.0, seed=5)
+        data = workload.to_jsonable()
+        assert "demand_distribution" not in data
+        legacy_shape = {
+            "sizes": [4, 3],
+            "demand": 100.0,
+            "seed": 5,
+            "spread_across_levels": True,
+            "sessions": [],
+        }
+        assert data == legacy_shape
+        assert WorkloadSpec.from_jsonable(legacy_shape) == workload
+
+    def test_default_omitted_when_nested_in_scenario_spec(self, scenario):
+        # Regression: the omission must hold at every nesting depth —
+        # the scenario-level digest is what the store, the report cache
+        # and cluster sharding actually key on.
+        data = scenario.to_jsonable()
+        assert "demand_distribution" not in data["workload"]
+        import hashlib
+
+        legacy_digest = hashlib.sha256(
+            _canonical_json(
+                {
+                    "topology": {
+                        "generator": "paper_flat",
+                        "params": {"num_nodes": 30, "capacity": 100.0},
+                        "seed": 13,
+                    },
+                    "workload": {
+                        "sizes": [4, 3],
+                        "demand": 100.0,
+                        "seed": 5,
+                        "spread_across_levels": True,
+                        "sessions": [],
+                    },
+                    "routing": "ip",
+                    "solver": "max_flow",
+                    "solver_params": {"approximation_ratio": 0.8},
+                }
+            ).encode("utf-8")
+        ).hexdigest()
+        assert scenario.canonical_key == legacy_digest
+        # And the instance digest (shared-instance cache key) as well.
+        assert "demand_distribution" not in json.dumps(scenario.to_jsonable())
+
+    def test_round_trip_with_distribution(self):
+        workload = WorkloadSpec(
+            sizes=(4, 3),
+            seed=5,
+            demand_distribution={"kind": "uniform", "low": 50.0, "high": 150.0},
+        )
+        data = json.loads(json.dumps(workload.to_jsonable()))
+        assert data["demand_distribution"] == {
+            "kind": "uniform",
+            "low": 50.0,
+            "high": 150.0,
+        }
+        restored = WorkloadSpec.from_jsonable(data)
+        assert restored == workload
+        assert restored.canonical_key == workload.canonical_key
+        assert (
+            restored.canonical_key
+            != WorkloadSpec(sizes=(4, 3), seed=5).canonical_key
+        )
+
+    def test_member_placement_unchanged_by_distribution(self, waxman_network):
+        # Demands are drawn after all members are placed, so adding a
+        # distribution must not move any session's members.
+        base = WorkloadSpec(sizes=(4, 3), demand=100.0, seed=5)
+        distributed = WorkloadSpec(
+            sizes=(4, 3),
+            seed=5,
+            demand_distribution={"kind": "uniform", "low": 50.0, "high": 150.0},
+        )
+        plain = base.build(waxman_network)
+        drawn = distributed.build(waxman_network)
+        assert [s.members for s in plain] == [s.members for s in drawn]
+        assert [s.name for s in plain] == [s.name for s in drawn]
+        assert all(50.0 <= s.demand <= 150.0 for s in drawn)
+        # Deterministic: the same spec draws the same demands.
+        again = distributed.build(waxman_network)
+        assert [s.demand for s in again] == [s.demand for s in drawn]
+
+    def test_constant_and_exponential_kinds(self, waxman_network):
+        constant = WorkloadSpec(
+            sizes=(3,), seed=2, demand_distribution={"kind": "constant", "value": 42.0}
+        ).build(waxman_network)
+        assert [s.demand for s in constant] == [42.0]
+        exponential = WorkloadSpec(
+            sizes=(3, 3),
+            seed=2,
+            demand_distribution={"kind": "exponential", "mean": 10.0},
+        ).build(waxman_network)
+        assert all(s.demand > 0 for s in exponential)
+
+    def test_distribution_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(sizes=(3,), demand_distribution={"kind": "zipf", "s": 2})
+        with pytest.raises(ConfigurationError):  # missing parameter
+            WorkloadSpec(sizes=(3,), demand_distribution={"kind": "uniform", "low": 1.0})
+        with pytest.raises(ConfigurationError):  # stray parameter
+            WorkloadSpec(
+                sizes=(3,),
+                demand_distribution={"kind": "constant", "value": 1.0, "extra": 2},
+            )
+        with pytest.raises(ConfigurationError):  # explicit mode excluded
+            WorkloadSpec(
+                sessions=(SessionSpec((0, 1)),),
+                demand_distribution={"kind": "constant", "value": 1.0},
+            )
+        with pytest.raises(ConfigurationError):  # bad range, caught early
+            WorkloadSpec(
+                sizes=(3,),
+                demand_distribution={"kind": "uniform", "low": 150.0, "high": 50.0},
+            )
+        with pytest.raises(ConfigurationError):  # non-numeric value
+            WorkloadSpec(
+                sizes=(3,), demand_distribution={"kind": "constant", "value": "a"}
+            )
+        with pytest.raises(ConfigurationError):  # non-positive mean
+            WorkloadSpec(
+                sizes=(3,), demand_distribution={"kind": "exponential", "mean": 0.0}
+            )
+        with pytest.raises(ConfigurationError):  # non-positive constant
+            WorkloadSpec(
+                sizes=(3,), demand_distribution={"kind": "constant", "value": -1.0}
+            )
+        with pytest.raises(ConfigurationError):  # non-positive uniform low
+            WorkloadSpec(
+                sizes=(3,),
+                demand_distribution={"kind": "uniform", "low": -5.0, "high": 5.0},
+            )
+        with pytest.raises(ConfigurationError):  # flat demand is unused
+            WorkloadSpec(
+                sizes=(3,),
+                demand=50.0,
+                demand_distribution={"kind": "constant", "value": 1.0},
+            )
+        with pytest.raises(ConfigurationError):  # inf poisons canonical JSON
+            WorkloadSpec(
+                sizes=(3,),
+                demand_distribution={"kind": "constant", "value": float("inf")},
+            )
+        with pytest.raises(ConfigurationError):  # NaN slips every <= check
+            WorkloadSpec(
+                sizes=(3,),
+                demand_distribution={"kind": "exponential", "mean": float("nan")},
+            )
+
+    def test_distributed_demand_spec_solves(self):
+        from repro import api
+
+        spec = ScenarioSpec(
+            topology=TopologySpec(
+                "paper_flat", {"num_nodes": 24, "capacity": 100.0}, seed=3
+            ),
+            workload=WorkloadSpec(
+                sizes=(3,),
+                seed=4,
+                demand_distribution={"kind": "uniform", "low": 50.0, "high": 150.0},
+            ),
+            solver="max_flow",
+            solver_params={"approximation_ratio": 0.8},
+        )
+        report = api.solve(ScenarioSpec.from_json(spec.to_json()))
+        assert report.solution.overall_throughput > 0
 
     def test_empty_names_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -190,6 +190,50 @@ class TestInstanceSharing:
         api.solve(_spec("online", "ip"))
         assert api.cache_info()["instances"] == before  # same instance reused
 
+    def test_instance_cache_is_lru_not_fifo(self, monkeypatch):
+        # Regression: a hit must refresh recency, so eviction follows
+        # least-recent-*use* order, not insertion order.
+        from repro.api import service
+
+        def tiny_spec(rows):
+            return ScenarioSpec(
+                topology=TopologySpec("grid", {"rows": rows, "cols": 2, "capacity": 10.0}),
+                workload=WorkloadSpec(sessions=(SessionSpec((0, 1), demand=1.0),)),
+                solver="max_flow",
+                solver_params={"approximation_ratio": 0.8},
+            )
+
+        monkeypatch.setattr(service, "_INSTANCE_CACHE_LIMIT", 2)
+        spec_a, spec_b, spec_c = tiny_spec(2), tiny_spec(3), tiny_spec(4)
+        instance_a = service.build_instance(spec_a)
+        service.build_instance(spec_b)
+        # Touch A: with correct LRU bookkeeping this makes B the
+        # eviction candidate even though A was inserted first.
+        hit_a = service.build_instance(spec_a)
+        assert hit_a is instance_a  # a genuine cache hit, not a rebuild
+        service.build_instance(spec_c)
+        assert spec_a.instance_key in service._instance_cache
+        assert spec_b.instance_key not in service._instance_cache  # evicted
+        assert spec_c.instance_key in service._instance_cache
+        # And the surviving hit still returns the original objects.
+        assert service.build_instance(spec_a) is instance_a
+
+    def test_instance_cache_eviction_keeps_limit(self, monkeypatch):
+        from repro.api import service
+
+        monkeypatch.setattr(service, "_INSTANCE_CACHE_LIMIT", 2)
+        for rows in (2, 3, 4, 5):
+            service.build_instance(
+                ScenarioSpec(
+                    topology=TopologySpec(
+                        "grid", {"rows": rows, "cols": 2, "capacity": 10.0}
+                    ),
+                    workload=WorkloadSpec(sessions=(SessionSpec((0, 1), demand=1.0),)),
+                    solver="max_flow",
+                )
+            )
+        assert len(service._instance_cache) == 2
+
 
 class TestCli:
     def _write_spec_file(self, tmp_path, payload, name="spec.json"):

@@ -92,12 +92,78 @@ class TestLengthFunction:
         lf.multiply_dense(np.array([1.0, 2.0, 4.0]))
         assert np.allclose(lf.relative, [1.0, 2.0, 4.0])
 
+    def test_multiply_batch_accumulates_repeated_edges(self):
+        # The whole point of the batched form: a repeated edge id takes
+        # the *product* of its factors, where fancy-indexed multiply
+        # would keep only the last one.
+        lf = LengthFunction(4, 0.0)
+        lf.multiply_batch(np.array([1, 1, 3, 1]), np.array([2.0, 3.0, 5.0, 4.0]))
+        assert np.allclose(lf.relative, [1.0, 24.0, 1.0, 5.0])
+
+    def test_multiply_batch_matches_sequential_multiply(self):
+        # One batched call over concatenated per-step updates must agree
+        # with the sequential loop it replaces (same absolute lengths).
+        rng = np.random.default_rng(7)
+        updates = [
+            (
+                rng.choice(16, 6, replace=False),
+                rng.uniform(1.0, 1.5, 6),
+            )
+            for _ in range(25)
+        ]
+        sequential = LengthFunction(16, 0.5)
+        for ids, factors in updates:
+            sequential.multiply(ids, factors)
+        batched = LengthFunction(16, 0.5)
+        batched.multiply_batch(
+            np.concatenate([ids for ids, _ in updates]),
+            np.concatenate([factors for _, factors in updates]),
+        )
+        absolute = lambda lf: np.log(lf.relative) + lf.log_offset
+        assert np.allclose(absolute(sequential), absolute(batched), rtol=1e-12)
+
+    def test_multiply_batch_survives_coalesced_overflow(self):
+        # Thousands of factors coalesced onto one edge overflow doubles
+        # before the end-of-batch renormalisation; the batch must split
+        # and renormalise instead of silently producing NaN/0 lengths.
+        batched = LengthFunction(4, 0.0)
+        batched.multiply_batch(
+            np.zeros(8000, dtype=np.int64), np.full(8000, 1.1)
+        )
+        assert np.all(np.isfinite(batched.relative))
+        sequential = LengthFunction(4, 0.0)
+        for _ in range(8000):
+            sequential.multiply(np.array([0]), np.array([1.1]))
+        assert batched.log_value(batched.relative[0]) == pytest.approx(
+            sequential.log_value(sequential.relative[0]), rel=1e-12
+        )
+
+    def test_multiply_batch_rejects_non_finite_factor(self):
+        lf = LengthFunction(2, 0.0)
+        with pytest.raises(ConfigurationError):
+            lf.multiply_batch(np.array([0]), np.array([np.inf]))
+
+    def test_multiply_batch_renormalizes(self):
+        lf = LengthFunction(2, 0.0)
+        lf.multiply_batch(np.array([0] * 10), np.array([1e30] * 10))
+        assert lf.relative.max() <= 1e200
+        assert lf.log_value(lf.relative[0]) == pytest.approx(
+            10 * math.log(1e30), rel=1e-9
+        )
+
     def test_multiply_rejects_nonpositive_factor(self):
         lf = LengthFunction(3, 0.0)
         with pytest.raises(ConfigurationError):
             lf.multiply(np.array([0]), np.array([0.0]))
         with pytest.raises(ConfigurationError):
             lf.multiply_dense(np.array([1.0, -1.0, 1.0]))
+        with pytest.raises(ConfigurationError):
+            lf.multiply_batch(np.array([0, 1]), np.array([1.0, 0.0]))
+
+    def test_multiply_batch_shape_mismatch_rejected(self):
+        lf = LengthFunction(3, 0.0)
+        with pytest.raises(ConfigurationError):
+            lf.multiply_batch(np.array([0, 1]), np.array([2.0]))
 
     def test_renormalisation_preserves_absolute_values(self):
         lf = LengthFunction(2, -5.0)

@@ -53,6 +53,17 @@ def test_write_core_perf_record_tiny(tmp_path):
     assert tree_length["dense_evals_per_sec"] > 0
     assert tree_length["sparse_speedup"] > 0
 
+    # Length-update batching ablation: one multiply_batch call versus a
+    # loop of multiply calls over the same accumulated updates.
+    length_multiply = record["length_multiply"]
+    assert length_multiply["updates"] > 0
+    assert length_multiply["loop_seconds"] > 0
+    assert length_multiply["batched_seconds"] > 0
+    assert length_multiply["batched_updates_per_sec"] > 0
+    assert length_multiply["batched_speedup"] > 0
+    latest = record["history"][-1]
+    assert latest["multiply_batched_speedup"] == length_multiply["batched_speedup"]
+
 
 def test_record_appends_history(tmp_path):
     path = tmp_path / "BENCH_core.json"
