@@ -57,7 +57,16 @@ A scenario spec file is a JSON object (or a list of them for a batch)::
       "solver": "max_flow",               // or max_concurrent_flow,
                                           // online, randomized_rounding,
                                           // or a plugin name
-      "solver_params": {"approximation_ratio": 0.9}
+      "solver_params": {"approximation_ratio": 0.9},
+      "arrivals": {                       // optional (online scenarios):
+        "replication": 5,                 //   copies per session
+        "seed": 11,                       //   arrival-order permutation
+        "demand": 1.0                     //   per-copy demand override
+      }                                   // OR pin the order explicitly
+                                          // (mutually exclusive with
+                                          // seed): "order": [3, 0, ...]
+                                          // Omit the key entirely for
+                                          // offline scenarios
     }
 
 Solver parameters mirror the solver functions in
@@ -98,7 +107,13 @@ from repro.api.service import (
     solve_instance,
     solve_many,
 )
-from repro.api.specs import ScenarioSpec, SessionSpec, TopologySpec, WorkloadSpec
+from repro.api.specs import (
+    ArrivalSpec,
+    ScenarioSpec,
+    SessionSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 
 __all__ = [
     "Registry",
@@ -109,6 +124,7 @@ __all__ = [
     "TopologySpec",
     "SessionSpec",
     "WorkloadSpec",
+    "ArrivalSpec",
     "ScenarioSpec",
     "SolveReport",
     "REPORT_SCHEMA",

@@ -9,7 +9,10 @@ Subcommands
     reports) or pretty-printed to stdout.  ``--jobs`` controls batch
     parallelism (0 = all cores; default honours ``REPRO_JOBS``);
     ``--store DIR`` attaches a persistent report store (default honours
-    ``REPRO_STORE``), making repeated runs of solved specs near-free.
+    ``REPRO_STORE``), making repeated runs of solved specs near-free;
+    ``--verbose`` prints each report's phase-engine instrumentation
+    (phases, oracle calls, batched versus per-session oracle time) to
+    stderr.
 
 ``cache stats|prune``
     Inspect or trim a persistent report store: ``stats`` prints entry
@@ -21,7 +24,9 @@ Subcommands
 
 ``example``
     Print a ready-to-run example spec (see ``repro/api/__init__.py`` for
-    the documented JSON shape).
+    the documented JSON shape).  ``--solver online`` emits a complete
+    online scenario whose ``arrivals`` block (an ``ArrivalSpec``) pins
+    replication and arrival order.
 """
 
 from __future__ import annotations
@@ -34,8 +39,9 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.api.registry import default_registry
-from repro.api.service import solve_many
+from repro.api.service import SolveReport, solve_many
 from repro.api.specs import (
+    ArrivalSpec,
     ScenarioSpec,
     TopologySpec,
     WorkloadSpec,
@@ -67,6 +73,30 @@ def emit_reports(reports, output: Optional[str]) -> None:
     else:
         json.dump(payload, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
+
+
+def _describe_instrumentation(report: SolveReport) -> str:
+    """One-paragraph engine-telemetry summary of a report (``--verbose``)."""
+    instr = report.solution.instrumentation
+    header = (
+        f"[{report.canonical_key[:12]}] {report.solution.algorithm}"
+        f"{' (cached)' if report.cached else ''}"
+    )
+    if not instr:
+        return f"{header}: no engine instrumentation recorded"
+    lines = [
+        f"{header}: {instr.get('steps', 0)} steps, "
+        f"{instr.get('phases', 0)} phases, "
+        f"{instr.get('oracle_queries', 0)} oracle calls "
+        f"({report.oracle_calls} total incl. pre-scaling)",
+        f"  oracle time: batched {instr.get('batched_oracle_seconds', 0.0):.4f}s "
+        f"over {instr.get('batched_rounds', 0)} rounds / "
+        f"per-session {instr.get('per_session_oracle_seconds', 0.0):.4f}s "
+        f"over {instr.get('per_session_rounds', 0)} rounds",
+    ]
+    if instr.get("max_congestion", 0.0) > 0:
+        lines.append(f"  max congestion seen: {instr['max_congestion']:.6g}")
+    return "\n".join(lines)
 
 
 def _store_from_args(args: argparse.Namespace) -> Optional[ReportStore]:
@@ -111,6 +141,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             use_cache=not args.no_cache,
             store=_store_from_args(args),
         )
+    if args.verbose:
+        # Engine instrumentation to stderr so --output / piped stdout
+        # stay pure JSON.
+        for report in reports:
+            print(_describe_instrumentation(report), file=sys.stderr)
     emit_reports(reports, args.output)
     return 0
 
@@ -141,16 +176,31 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_example(_args: argparse.Namespace) -> int:
-    spec = ScenarioSpec(
-        topology=TopologySpec(
-            generator="paper_flat", params={"num_nodes": 40, "capacity": 100.0}, seed=7
-        ),
-        workload=WorkloadSpec(sizes=(5, 4), demand=100.0, seed=21),
-        routing="ip",
-        solver="max_flow",
-        solver_params={"approximation_ratio": 0.9},
+def _cmd_example(args: argparse.Namespace) -> int:
+    topology = TopologySpec(
+        generator="paper_flat", params={"num_nodes": 40, "capacity": 100.0}, seed=7
     )
+    workload = WorkloadSpec(sizes=(5, 4), demand=100.0, seed=21)
+    if args.solver == "online":
+        # A complete online scenario: the ArrivalSpec (replication +
+        # permutation seed) makes the run fully spec-determined, so it
+        # caches and re-runs through the store like offline scenarios.
+        spec = ScenarioSpec(
+            topology=topology,
+            workload=workload,
+            routing="ip",
+            solver="online",
+            solver_params={"sigma": 10.0, "group_by_members": True},
+            arrivals=ArrivalSpec(replication=5, seed=11, demand=1.0),
+        )
+    else:
+        spec = ScenarioSpec(
+            topology=topology,
+            workload=workload,
+            routing="ip",
+            solver="max_flow",
+            solver_params={"approximation_ratio": 0.9},
+        )
     print(spec.to_json(indent=2))
     return 0
 
@@ -186,6 +236,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help=f"gzip new store entries (with --store or ${STORE_ENV_VAR})",
     )
+    run.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print engine instrumentation per report to stderr "
+        "(phases, oracle calls, batched vs per-session oracle time)",
+    )
     run.set_defaults(handler=_cmd_run)
 
     cache = sub.add_parser("cache", help="inspect or trim a persistent report store")
@@ -216,6 +272,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     lst.set_defaults(handler=_cmd_list)
 
     example = sub.add_parser("example", help="print an example scenario spec")
+    example.add_argument(
+        "--solver",
+        default="max_flow",
+        choices=("max_flow", "online"),
+        help="which example to print: an offline max_flow scenario "
+        "(default) or a full online scenario with an ArrivalSpec",
+    )
     example.set_defaults(handler=_cmd_example)
 
     args = parser.parse_args(argv)

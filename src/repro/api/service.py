@@ -161,7 +161,7 @@ class SolveReport:
                     "tree_flows": tree_flows,
                 }
             )
-        return {
+        payload = {
             "schema": REPORT_SCHEMA,
             "spec": self.spec.to_jsonable(),
             "canonical_key": self.canonical_key,
@@ -174,6 +174,12 @@ class SolveReport:
             "extra": to_jsonable(dict(self.solution.extra)),
             "sessions": sessions,
         }
+        if self.solution.instrumentation is not None:
+            # Engine telemetry (phases, oracle rounds, batched-vs-loop
+            # oracle time).  Key absent for pre-engine reports, keeping
+            # their persisted bytes (and digests) untouched.
+            payload["instrumentation"] = to_jsonable(self.solution.instrumentation)
+        return payload
 
     @classmethod
     def from_jsonable(cls, data: Mapping[str, Any]) -> "SolveReport":
@@ -215,6 +221,7 @@ class SolveReport:
             epsilon=data.get("epsilon"),
             oracle_calls=int(data["oracle_calls"]),
             extra=dict(data.get("extra", {})),
+            instrumentation=data.get("instrumentation"),
         )
         return cls(
             spec=spec,
@@ -233,6 +240,10 @@ def _solve_uncached(
 ) -> SolveReport:
     """One live solve, no cache or store consultation (the pool-worker path)."""
     _, sessions, routing = build_instance(spec, registry)
+    if spec.arrivals is not None:
+        # Arrival ordering sits on top of the cached instance: the same
+        # built network/sessions serve every ordering/replication variant.
+        sessions = spec.arrivals.apply(sessions)
     start = time.perf_counter()
     solution = solve_instance(
         spec.solver, sessions, routing, spec.solver_params, registry

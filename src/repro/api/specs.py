@@ -149,6 +149,98 @@ class SessionSpec(_SpecBase):
         )
 
 
+@dataclass(frozen=True)
+class ArrivalSpec(_SpecBase):
+    """The online arrival process: how sessions become an arrival sequence.
+
+    The online algorithm (paper Table VI) routes sessions one at a time
+    in arrival order, so the *order* is part of the problem statement.
+    Before this spec existed the experiment harness built orderings
+    procedurally, which kept online scenarios out of the report store;
+    an ``ArrivalSpec`` on a :class:`ScenarioSpec` makes the run fully
+    spec-determined — replication, demand override and ordering included
+    — so online cells cache, shard and re-run like every offline cell.
+
+    Applied to a workload's session list as:
+
+    1. every session is replicated ``replication`` times (the paper's
+       tree-limit experiments route each copy on a single tree), each
+       copy carrying ``demand`` when set (else the session's own demand);
+    2. the flat replica list (session-major: all copies of session 1,
+       then session 2, ...) is permuted by ``order`` when given,
+       else by a seeded ``numpy`` permutation when ``seed`` is set,
+       else left in place.
+
+    Attributes
+    ----------
+    replication:
+        Copies per logical session (>= 1).  Copies are named
+        ``<name>#<i>`` (see :meth:`Session.replicate`) and grouped back
+        per member set by the online solver's ``group_by_members``.
+    seed:
+        Permutation seed for the arrival order.  ``None`` with an empty
+        ``order`` means sessions arrive in replication order.
+    demand:
+        Per-copy demand override; ``None`` keeps each session's demand.
+    order:
+        Explicit-order escape hatch: a permutation of
+        ``range(num_sessions * replication)`` listing replica indices in
+        arrival order.  Mutually exclusive with ``seed``.  Two specs
+        differing only in ``order`` have different canonical keys — the
+        ordering *is* part of the problem.
+    """
+
+    replication: int = 1
+    seed: Optional[int] = None
+    demand: Optional[float] = None
+    order: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if int(self.replication) < 1:
+            raise ConfigurationError(
+                f"replication must be >= 1, got {self.replication}"
+            )
+        object.__setattr__(self, "replication", int(self.replication))
+        object.__setattr__(self, "order", tuple(int(i) for i in self.order))
+        if self.order and self.seed is not None:
+            raise ConfigurationError(
+                "seed and order are mutually exclusive: an explicit order "
+                "leaves nothing for the permutation seed to decide"
+            )
+        if self.order:
+            if min(self.order) < 0:
+                raise ConfigurationError("order entries must be non-negative")
+            if len(set(self.order)) != len(self.order):
+                raise ConfigurationError("order must not repeat an index")
+        if self.demand is not None and not (
+            isinstance(self.demand, (int, float))
+            and not isinstance(self.demand, bool)
+            and math.isfinite(self.demand)
+            and self.demand > 0
+        ):
+            raise ConfigurationError(
+                f"demand override must be a positive finite number, got {self.demand!r}"
+            )
+
+    def apply(self, sessions: List[Session]) -> List[Session]:
+        """Turn a workload's session list into the arrival sequence."""
+        arrivals: List[Session] = []
+        for session in sessions:
+            arrivals.extend(session.replicate(self.replication, demand=self.demand))
+        if self.order:
+            if sorted(self.order) != list(range(len(arrivals))):
+                raise ConfigurationError(
+                    f"order must be a permutation of range({len(arrivals)}) "
+                    f"({len(sessions)} sessions x {self.replication} copies), "
+                    f"got {len(self.order)} entries"
+                )
+            return [arrivals[i] for i in self.order]
+        if self.seed is not None:
+            permutation = ensure_rng(self.seed).permutation(len(arrivals))
+            return [arrivals[i] for i in permutation]
+        return arrivals
+
+
 #: Demand-distribution kinds and their required parameters.
 _DEMAND_DISTRIBUTIONS: Dict[str, Tuple[str, ...]] = {
     "constant": ("value",),
@@ -332,6 +424,12 @@ class ScenarioSpec(_SpecBase):
         or any plugin-registered name).
     solver_params:
         Keyword arguments forwarded to the solver function.
+    arrivals:
+        Optional :class:`ArrivalSpec` turning the workload's sessions
+        into an explicit arrival sequence before the solver runs (the
+        online algorithm's input).  ``None`` — the default, omitted from
+        the JSON form so pre-existing specs keep their canonical keys —
+        passes the workload's sessions through unchanged.
     """
 
     topology: TopologySpec
@@ -339,6 +437,7 @@ class ScenarioSpec(_SpecBase):
     routing: str = "ip"
     solver: str = "max_flow"
     solver_params: Dict[str, Any] = field(default_factory=dict)
+    arrivals: Optional[ArrivalSpec] = None
 
     def __post_init__(self) -> None:
         if not self.routing:
@@ -346,6 +445,29 @@ class ScenarioSpec(_SpecBase):
         if not self.solver:
             raise ConfigurationError("solver name must be non-empty")
         object.__setattr__(self, "solver_params", dict(self.solver_params))
+
+    def __jsonable__(self) -> Dict[str, Any]:
+        """JSON shape hook: the default ``arrivals`` is omitted so every
+        pre-existing (arrival-free) scenario keeps its canonical key."""
+        data = {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+        if self.arrivals is None:
+            del data["arrivals"]
+        return data
+
+    def build_sessions(self, network: PhysicalNetwork) -> List[Session]:
+        """The solver's session input: workload sessions, arrival-ordered.
+
+        Convenience composition of ``workload.build`` and
+        ``arrivals.apply`` for callers holding only a spec and a
+        network.  Instance-caching callers (the solve service, the
+        experiment runner) instead apply :meth:`ArrivalSpec.apply` on
+        top of an already-built session list — same two operations, so
+        the result is identical.
+        """
+        sessions = self.workload.build(network)
+        if self.arrivals is not None:
+            sessions = self.arrivals.apply(sessions)
+        return sessions
 
     def with_solver(self, solver: str, **solver_params: Any) -> "ScenarioSpec":
         """Copy of this scenario with a different solver (shared instance)."""
@@ -359,7 +481,10 @@ class ScenarioSpec(_SpecBase):
 
         Two scenarios that run different solvers over the same instance
         share this key; the batch service uses it to share built networks
-        and routing models between them.
+        and routing models between them.  ``arrivals`` is deliberately
+        excluded: arrival ordering is applied on top of the cached
+        instance at solve time, so a sweep over orderings (or tree
+        limits) rebuilds nothing.
         """
         data = {
             "topology": self.topology.to_jsonable(),
@@ -371,7 +496,7 @@ class ScenarioSpec(_SpecBase):
 
 # frozen dataclasses generate their own __hash__, shadowing the
 # digest-based one on _SpecBase — restore it explicitly.
-for _spec_cls in (TopologySpec, SessionSpec, WorkloadSpec, ScenarioSpec):
+for _spec_cls in (TopologySpec, SessionSpec, WorkloadSpec, ArrivalSpec, ScenarioSpec):
     _spec_cls.__hash__ = _SpecBase.__hash__  # type: ignore[method-assign]
 del _spec_cls
 

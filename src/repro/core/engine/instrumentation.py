@@ -1,0 +1,164 @@
+"""Per-run engine telemetry: counters plus a bounded event log.
+
+Every :class:`~repro.core.engine.driver.PhaseEngine` run carries one
+:class:`Instrumentation` instance.  The engine emits *events* at the
+points the ISSUE-level questions ("how many phases?", "how much time in
+batched versus per-session oracle queries?", "how did congestion
+evolve?") are answered from:
+
+* ``phase`` — a phase boundary (MaxConcurrentFlow's outer loop),
+* ``oracle`` — one oracle query round, with the query count and whether
+  the batched front served it,
+* ``congestion`` — a max-congestion snapshot (online runs).
+
+Counters are exact; the event log is bounded (default 256 entries) so a
+hundred-thousand-step run cannot balloon a report — dropped events are
+counted, never silently lost.  :meth:`Instrumentation.snapshot` renders
+everything as a plain-JSON dict that rides on
+:attr:`repro.core.result.FlowSolution.instrumentation` and survives the
+:class:`~repro.api.service.SolveReport` round trip byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+ENGINE_SCHEMA = "PhaseEngine/v1"
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """One instrumentation event emitted by the engine.
+
+    Attributes
+    ----------
+    kind:
+        ``"phase"``, ``"oracle"`` or ``"congestion"``.
+    step:
+        The engine step counter when the event fired (0 before the
+        first step).
+    payload:
+        Event-specific numbers (phase index, query count, max
+        congestion, ...) — plain floats/ints only, so events serialize.
+    """
+
+    kind: str
+    step: int
+    payload: Dict[str, float]
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-JSON form of this event."""
+        return {"kind": self.kind, "step": self.step, **self.payload}
+
+
+class Instrumentation:
+    """Counters and a bounded event log for one engine run.
+
+    Listeners (``on_event`` callbacks) observe every event live — even
+    ones the bounded log drops — which is how applications watch
+    congestion evolve without the engine growing bespoke hooks.
+    """
+
+    def __init__(self, max_events: int = 256) -> None:
+        if max_events < 0:
+            raise ValueError(f"max_events must be >= 0, got {max_events}")
+        self.steps = 0
+        self.phases = 0
+        self.oracle_queries = 0
+        self.batched_rounds = 0
+        self.per_session_rounds = 0
+        self.batched_oracle_seconds = 0.0
+        self.per_session_oracle_seconds = 0.0
+        self.length_updates = 0
+        self.max_congestion = 0.0
+        self._events: List[EngineEvent] = []
+        self._max_events = int(max_events)
+        self._dropped_events = 0
+        self._listeners: List[Callable[[EngineEvent], None]] = []
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: Callable[[EngineEvent], None]) -> None:
+        """Register a live observer called with every emitted event."""
+        self._listeners.append(listener)
+
+    def emit(self, kind: str, step: int, **payload: float) -> Optional[EngineEvent]:
+        """Record (and fan out) one event; bounded log, exact counters.
+
+        With the log full and no listeners registered the event would go
+        nowhere — skip constructing it (counters are updated by the
+        callers either way), keeping long runs' hot loops allocation-free
+        past the log bound.
+        """
+        if len(self._events) >= self._max_events and not self._listeners:
+            self._dropped_events += 1
+            return None
+        event = EngineEvent(kind=kind, step=step, payload=dict(payload))
+        if len(self._events) < self._max_events:
+            self._events.append(event)
+        else:
+            self._dropped_events += 1
+        for listener in self._listeners:
+            listener(event)
+        return event
+
+    def phase_started(self, phase: int, step: int) -> None:
+        """A phase boundary: phase ``phase`` begins at step ``step``."""
+        self.phases += 1
+        self.emit("phase", step, phase=float(phase))
+
+    def oracle_round(self, queries: int, batched: bool, seconds: float, step: int) -> None:
+        """One query round: ``queries`` oracle calls, batched or looped."""
+        self.oracle_queries += int(queries)
+        if batched:
+            self.batched_rounds += 1
+            self.batched_oracle_seconds += seconds
+        else:
+            self.per_session_rounds += 1
+            self.per_session_oracle_seconds += seconds
+        self.emit(
+            "oracle", step, queries=float(queries), batched=float(bool(batched))
+        )
+
+    def congestion_snapshot(self, value: float, step: int) -> None:
+        """Record the current max congestion (online runs, once per step)."""
+        if value > self.max_congestion:
+            self.max_congestion = float(value)
+        self.emit("congestion", step, max_congestion=float(value))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> Tuple[EngineEvent, ...]:
+        """The retained events, in emission order."""
+        return tuple(self._events)
+
+    @property
+    def dropped_events(self) -> int:
+        """Events beyond the bounded log's capacity (counted, not kept)."""
+        return self._dropped_events
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-JSON summary: all counters plus the retained events.
+
+        The dict round-trips through JSON without type drift (ints stay
+        ints, floats stay floats), so persisted reports compare equal to
+        fresh ones byte-for-byte.
+        """
+        return {
+            "engine": ENGINE_SCHEMA,
+            "steps": int(self.steps),
+            "phases": int(self.phases),
+            "oracle_queries": int(self.oracle_queries),
+            "batched_rounds": int(self.batched_rounds),
+            "per_session_rounds": int(self.per_session_rounds),
+            "batched_oracle_seconds": float(self.batched_oracle_seconds),
+            "per_session_oracle_seconds": float(self.per_session_oracle_seconds),
+            "length_updates": int(self.length_updates),
+            "max_congestion": float(self.max_congestion),
+            "dropped_events": int(self._dropped_events),
+            "events": [event.to_jsonable() for event in self._events],
+        }

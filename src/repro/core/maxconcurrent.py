@@ -28,18 +28,14 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.engine import ConcurrentPhasePolicy, DualObjectiveStop, PhaseEngine
 from repro.core.lengths import LengthFunction, epsilon_for_ratio
 from repro.core.maxflow import MaxFlow, MaxFlowConfig
-from repro.core.result import (
-    FlowSolution,
-    SessionFlowAccumulator,
-    SessionResult,
-    TreeFlow,
-)
+from repro.core.result import FlowSolution, SessionResult, TreeFlow
 from repro.overlay.oracle import build_oracles
 from repro.overlay.session import Session
 from repro.routing.base import RoutingModel
-from repro.util.errors import ConfigurationError, ConvergenceError, InfeasibleProblemError
+from repro.util.errors import ConfigurationError, InfeasibleProblemError
 
 
 @dataclass(frozen=True)
@@ -219,46 +215,34 @@ class MaxConcurrentFlow:
         else:
             step_cap = int(20 * (num_edges + k) * max(1.0, scale_denominator)) + 100
 
-        accumulators = [SessionFlowAccumulator(session=s) for s in self._sessions]
-        steps = 0
-        phases = 0
-        doublings = 0
-        phases_since_doubling = 0
-
-        def dual_objective_reached() -> bool:
-            return lengths.weighted_sum_log(capacities) >= 0.0
-
-        while not dual_objective_reached():
-            phases += 1
-            phases_since_doubling += 1
-            for index, oracle in enumerate(oracles):
-                remaining = float(working_demands[index])
-                while remaining > 0 and not dual_objective_reached():
-                    steps += 1
-                    if steps > step_cap:
-                        raise ConvergenceError(
-                            f"MaxConcurrentFlow exceeded the step cap of {step_cap}"
-                        )
-                    result = oracle.minimum_tree(lengths.relative)
-                    tree = result.tree
-                    bottleneck = tree.bottleneck_capacity(capacities)
-                    amount = min(remaining, bottleneck)
-                    remaining -= amount
-                    accumulators[index].add(tree, amount)
-
-                    used = tree.physical_edges
-                    usage = tree.usage_values
-                    factors = 1.0 + epsilon * usage * amount / capacities[used]
-                    lengths.multiply(used, factors)
-            if phases_since_doubling >= phase_budget and not dual_objective_reached():
-                working_demands = working_demands * 2.0
-                doublings += 1
-                phases_since_doubling = 0
+        # Table III on the shared phase engine: the policy owns the
+        # phase/session/remaining-demand bookkeeping and the demand
+        # doubling; the dual-objective stopping rule is checked before
+        # every step, which reproduces the nested
+        # ``while remaining > 0 and not dual()`` structure exactly.
+        policy = ConcurrentPhasePolicy(
+            epsilon=epsilon,
+            working_demands=working_demands,
+            phase_budget=phase_budget,
+        )
+        engine = PhaseEngine(
+            oracles=oracles,
+            lengths=lengths,
+            capacities=capacities,
+            policy=policy,
+            stopping=DualObjectiveStop(capacities),
+            step_cap=step_cap,
+            cap_message=f"MaxConcurrentFlow exceeded the step cap of {step_cap}",
+        )
+        run = engine.run()
+        steps = run.steps
+        phases = policy.phases
+        doublings = policy.doublings
 
         scale = 1.0 / scale_denominator
         sessions = tuple(
             SessionResult(session=acc.session, tree_flows=tuple(acc.scaled(scale)))
-            for acc in accumulators
+            for acc in run.accumulators
         )
         main_calls = sum(o.call_count for o in oracles)
         solution = FlowSolution(
@@ -300,6 +284,7 @@ class MaxConcurrentFlow:
                 "zeta_upper_bound": zeta,
                 "routing": "dynamic" if self._routing.is_dynamic else "fixed",
             },
+            instrumentation=run.instrumentation.snapshot(),
         )
         return solution
 

@@ -24,14 +24,13 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import numpy as np
-
+from repro.core.engine import MaxFlowPolicy, NormalizedLengthStop, PhaseEngine
 from repro.core.lengths import LengthFunction, epsilon_for_ratio
-from repro.core.result import FlowSolution, SessionFlowAccumulator, SessionResult
+from repro.core.result import FlowSolution, SessionResult
 from repro.overlay.oracle import MinimumOverlayTreeOracle, build_oracles
 from repro.overlay.session import Session
 from repro.routing.base import RoutingModel
-from repro.util.errors import ConfigurationError, ConvergenceError
+from repro.util.errors import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -53,12 +52,19 @@ class MaxFlowConfig:
         Oracle tree-construction memoization (``None`` = process default,
         on).  Purely a performance switch; results are identical either
         way.
+    batch_oracle:
+        Serve each iteration's all-session oracle scan through the
+        engine's :class:`~repro.core.engine.BatchedOracleFront` (one
+        stacked incidence mat-vec under fixed routing).  ``None`` =
+        default, on.  Purely a performance switch; results are
+        bit-identical either way.
     """
 
     epsilon: Optional[float] = None
     approximation_ratio: Optional[float] = None
     max_iterations: Optional[int] = None
     memoize: Optional[bool] = None
+    batch_oracle: Optional[bool] = None
 
     def resolved_epsilon(self) -> float:
         """The epsilon actually used (resolving the ratio form)."""
@@ -121,44 +127,27 @@ class MaxFlow:
         else:
             iteration_cap = int(10 * num_edges * max(1.0, scale_denominator)) + 10
 
-        accumulators = [SessionFlowAccumulator(session=s) for s in self._sessions]
-        iterations = 0
-
-        while True:
-            if iterations >= iteration_cap:
-                raise ConvergenceError(
-                    f"MaxFlow exceeded the iteration cap of {iteration_cap}"
-                )
-            iterations += 1
-
-            best_index = -1
-            best_norm_length = math.inf
-            best_result = None
-            for index, oracle in enumerate(self._oracles):
-                result = oracle.minimum_tree(lengths.relative)
-                norm = oracle.normalized_length(result, max_size)
-                if norm < best_norm_length:
-                    best_norm_length = norm
-                    best_index = index
-                    best_result = result
-
-            # Termination: the minimum normalised tree length reached 1.
-            if lengths.at_least_one(best_norm_length):
-                break
-
-            tree = best_result.tree
-            bottleneck = tree.bottleneck_capacity(capacities)
-            accumulators[best_index].add(tree, bottleneck)
-
-            used = tree.physical_edges
-            usage = tree.usage_values
-            factors = 1.0 + epsilon * usage * bottleneck / capacities[used]
-            lengths.multiply(used, factors)
+        # Table I on the shared phase engine: every step queries all
+        # sessions (one batched pass over the shared length array under
+        # fixed routing), routes the bottleneck of the minimum normalised
+        # tree, and stops when that normalised length reaches 1.
+        engine = PhaseEngine(
+            oracles=self._oracles,
+            lengths=lengths,
+            capacities=capacities,
+            policy=MaxFlowPolicy(epsilon=epsilon, max_session_size=max_size),
+            stopping=NormalizedLengthStop(),
+            step_cap=iteration_cap,
+            cap_message=f"MaxFlow exceeded the iteration cap of {iteration_cap}",
+            batch_oracle=self._config.batch_oracle,
+        )
+        run = engine.run()
+        iterations = run.steps
 
         scale = 1.0 / scale_denominator
         sessions = tuple(
             SessionResult(session=acc.session, tree_flows=tuple(acc.scaled(scale)))
-            for acc in accumulators
+            for acc in run.accumulators
         )
         # Guard against the final augmentation pushing a link marginally over
         # capacity: rescale uniformly if the scaled flow is infeasible.
@@ -192,6 +181,7 @@ class MaxFlow:
                 "longest_route": float(longest_route),
                 "routing": "dynamic" if self._routing.is_dynamic else "fixed",
             },
+            instrumentation=run.instrumentation.snapshot(),
         )
 
 

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.engine import OnlineArrivalPolicy, PhaseEngine, RunToExhaustion
 from repro.core.lengths import LengthFunction
 from repro.core.result import FlowSolution, SessionResult, TreeFlow
 from repro.overlay.oracle import MinimumOverlayTreeOracle
@@ -91,12 +92,30 @@ class OnlineMinCongestion:
         self._network = routing.network
         self._config = config or OnlineConfig()
         self._config.validate()
-        self._state = OnlineState(
-            lengths=LengthFunction.for_online(self._network.capacities),
-            congestion=np.zeros(self._network.num_edges, dtype=float),
-        )
         self._demand_scale = 1.0
-        self._oracle_cache: Dict[Tuple[Tuple[int, ...], float], MinimumOverlayTreeOracle] = {}
+        # Table VI on the shared phase engine, driven stepwise: each
+        # accepted arrival is one engine step.  Oracles are shared per
+        # member set through the engine's dynamic oracle table, so all
+        # replicas of a logical session hit one tree cache.
+        self._policy = OnlineArrivalPolicy(sigma=self._config.sigma)
+        self._engine = PhaseEngine(
+            oracles=[],
+            lengths=LengthFunction.for_online(self._network.capacities),
+            capacities=self._network.capacities,
+            policy=self._policy,
+            stopping=RunToExhaustion(),
+            accumulate_flows=False,
+            track_congestion=True,
+            batch_oracle=False,
+            oracle_factory=lambda session: MinimumOverlayTreeOracle(
+                session, self._routing, memoize=self._config.memoize
+            ),
+        )
+        self._state = OnlineState(
+            lengths=self._engine.lengths,
+            congestion=self._engine.congestion,
+            assignments=self._policy.assignments,
+        )
 
     @property
     def state(self) -> OnlineState:
@@ -115,6 +134,7 @@ class OnlineMinCongestion:
         """
         if not self._config.apply_no_bottleneck_scaling or not sessions:
             self._demand_scale = 1.0
+            self._policy.demand_scale = 1.0
             return self._demand_scale
         k = len(sessions)
         max_dem = max(s.demand for s in sessions)
@@ -123,37 +143,16 @@ class OnlineMinCongestion:
         # Choose scale so max dem(i) * |Smax| / min c_e == 1 / (2k).
         target = min_cap / (2.0 * k * max_size)
         self._demand_scale = target / max_dem
+        self._policy.demand_scale = self._demand_scale
         return self._demand_scale
-
-    def _oracle_for(self, session: Session) -> MinimumOverlayTreeOracle:
-        key = (tuple(sorted(session.members)), 0.0)
-        oracle = self._oracle_cache.get(key)
-        if oracle is None:
-            oracle = MinimumOverlayTreeOracle(
-                session, self._routing, memoize=self._config.memoize
-            )
-            self._oracle_cache[key] = oracle
-        return oracle
 
     def accept(self, session: Session) -> OverlayTree:
         """Route an arriving session on one tree and update lengths/congestion."""
         session.validate_against(self._network)
-        oracle = self._oracle_for(session)
-        result = oracle.minimum_tree(self._state.lengths.relative)
+        self._policy.feed(session)
+        action = self._engine.step()
         self._state.oracle_calls += 1
-        tree = result.tree
-
-        demand = session.demand * self._demand_scale
-        capacities = self._network.capacities
-        used = tree.physical_edges
-        usage = tree.usage_values
-        load = usage * demand / capacities[used]
-
-        factors = 1.0 + self._config.sigma * load
-        self._state.lengths.multiply(used, factors)
-        self._state.congestion[used] += load
-        self._state.assignments.append((session, tree, session.demand))
-        return tree
+        return action.tree
 
     def accept_all(self, sessions: Sequence[Session]) -> List[OverlayTree]:
         """Route a whole arrival sequence, in order."""
@@ -246,6 +245,7 @@ class OnlineMinCongestion:
                 "num_arrivals": float(len(self._state.assignments)),
                 "routing": "dynamic" if self._routing.is_dynamic else "fixed",
             },
+            instrumentation=self._engine.instrumentation.snapshot(),
         )
 
 

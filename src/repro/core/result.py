@@ -134,6 +134,14 @@ class FlowSolution:
     extra:
         Algorithm-specific extras (e.g. pre-scaling oracle calls, the
         concurrent throughput ``lambda``, congestion values).
+    instrumentation:
+        The :class:`repro.core.engine` telemetry snapshot of the run
+        that produced this solution (phases, oracle-query rounds,
+        batched-vs-per-session oracle time, congestion snapshots).
+        ``None`` for solutions built outside the engine (e.g. rounding
+        selections, deserialized legacy reports).  Excluded from
+        equality: two runs of the same algorithm are the *same solution*
+        even when their wall-clock telemetry differs.
     """
 
     algorithm: str
@@ -142,6 +150,9 @@ class FlowSolution:
     epsilon: Optional[float] = None
     oracle_calls: int = 0
     extra: Mapping[str, float] = field(default_factory=dict)
+    instrumentation: Optional[Mapping[str, object]] = field(
+        default=None, compare=False, repr=False
+    )
 
     # ------------------------------------------------------------------
     # headline metrics
@@ -237,6 +248,7 @@ class FlowSolution:
             epsilon=self.epsilon,
             oracle_calls=self.oracle_calls,
             extra=dict(self.extra),
+            instrumentation=self.instrumentation,
         )
 
     def summary(self) -> Dict[str, float]:

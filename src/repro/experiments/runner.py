@@ -14,13 +14,17 @@ process-pool parallel mode: pass ``jobs=`` to a sweep function, export
 produce bit-identical results to serial ones — each worker rebuilds the
 (deterministic) instance from the scale name and solves whole cells.
 
-The spec-representable sweeps (the flat ratio sweeps, the Section VI
-grid, and the limited-tree fractional reference) can additionally route
-through a persistent :class:`repro.store.ReportStore` — pass ``store=``
-or export ``REPRO_STORE`` — in which case each cell solves through
-``repro.api.solve_many`` on its declarative scenario spec (bit-identical
-to the direct path, per the Scenario API contract) and re-running a
-sweep in a fresh process performs zero solver calls.
+Every sweep is spec-representable — including, since the arrival
+process became a spec field (:class:`repro.api.specs.ArrivalSpec`), the
+online cells: the flat ratio sweeps, the Section VI grid, the
+limited-tree fractional reference, the limited-tree online orderings
+and the Section VI online sweep all route through
+``repro.api.solve_many`` on declarative scenario specs (bit-identical
+to the direct path, per the Scenario API contract).  With a persistent
+:class:`repro.store.ReportStore` — pass ``store=`` or export
+``REPRO_STORE`` — re-running a sweep in a fresh process performs zero
+solver calls; only the randomized-rounding trials (which resample a
+live fractional solution) always compute.
 """
 
 from __future__ import annotations
@@ -31,8 +35,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.api.service import solve_instance
-from repro.api.specs import ScenarioSpec
+from repro.api.service import solve_instance, solve_many
+from repro.api.specs import ArrivalSpec, ScenarioSpec
 from repro.store.report_store import StoreLike, resolve_store
 from repro.core.result import FlowSolution
 from repro.core.rounding import RandomMinCongestion
@@ -49,7 +53,7 @@ from repro.overlay.session import Session
 from repro.routing.base import RoutingModel
 from repro.topology.network import PhysicalNetwork
 from repro.util.errors import ConfigurationError
-from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.rng import spawn_child_seed
 
 
 def _map_cells(worker: Callable, tasks: Sequence[Tuple], jobs: Optional[int]) -> List:
@@ -246,83 +250,93 @@ def _limited_tree_fractional(
     return _LIMITED_TREE_FRACTIONALS[key]
 
 
-def _solve_limited_tree_point(
+def _solve_rounding_point(
     task: Tuple[str, str, int, FlowSolution]
-) -> LimitedTreePoint:
-    """Measure one tree-limit cell (rounding trials + online orderings).
+) -> Dict[str, float]:
+    """Randomized rounding at one tree-limit value, averaged over trials.
 
-    Every random draw is seeded from ``setting.seed + limit``, so cells
-    are independent of each other and of execution order.  The shared
+    Seeded from ``setting.seed + limit`` (unchanged from the original
+    harness — the rounding averages are a different random process from
+    the arrival orderings, which now draw from the setting's spawn tree
+    and therefore can no longer collide with these roots).  The shared
     fractional solution travels in the task payload so pool workers
     never re-solve it, whatever the multiprocessing start method.
     """
     scale, routing_kind, limit, fractional = task
-    instance = flat_instance(scale, routing_kind)
     setting = limited_tree_setting_for_scale(scale)
-    num_sessions = len(instance.sessions)
-
-    # Randomized rounding, averaged over trials.
     rounding = RandomMinCongestion(fractional, seed=setting.seed)
-    random_stats = rounding.average_over_trials(
+    return rounding.average_over_trials(
         limit, setting.rounding_trials, seed=setting.seed + limit
     )
-    random_rates = [
-        random_stats[f"mean_rate_session_{i + 1}"] for i in range(num_sessions)
-    ]
-    random_trees = [
-        random_stats[f"mean_trees_session_{i + 1}"] for i in range(num_sessions)
-    ]
 
-    # Online algorithm: replicate each session `limit` times, average
-    # over random arrival orderings, per sigma.
-    online_throughput: Dict[float, float] = {}
-    online_min_rate: Dict[float, float] = {}
-    online_rates: Dict[float, List[float]] = {}
-    online_trees: Dict[float, List[float]] = {}
-    for sigma in setting.sigmas:
-        rngs = spawn_rngs(setting.seed + limit, setting.online_orderings)
-        throughputs = []
-        min_rates = []
-        rates_acc = np.zeros(num_sessions)
-        trees_acc = np.zeros(num_sessions)
-        for rng in rngs:
-            arrivals: List[Session] = []
-            for session in instance.sessions:
-                arrivals.extend(session.replicate(limit, demand=1.0))
-            order = rng.permutation(len(arrivals))
-            ordered = [arrivals[i] for i in order]
-            solution = solve_instance(
-                "online",
-                ordered,
-                instance.routing,
-                {"sigma": sigma, "group_by_members": True},
-            )
-            throughputs.append(solution.overall_throughput)
-            min_rates.append(solution.min_rate)
-            # Align grouped results back to the original session order.
-            by_members = {
-                tuple(sorted(s.session.members)): s for s in solution.sessions
-            }
-            for index, session in enumerate(instance.sessions):
-                grouped = by_members[tuple(sorted(session.members))]
-                rates_acc[index] += grouped.rate
-                trees_acc[index] += grouped.num_trees
-        count = float(len(rngs))
-        online_throughput[sigma] = float(np.mean(throughputs))
-        online_min_rate[sigma] = float(np.mean(min_rates))
-        online_rates[sigma] = list(rates_acc / count)
-        online_trees[sigma] = list(trees_acc / count)
 
-    return LimitedTreePoint(
-        tree_limit=limit,
-        random_throughput=random_stats["mean_throughput"],
-        random_min_rate=random_stats["mean_min_rate"],
-        random_session_rates=random_rates,
-        random_trees_used=random_trees,
-        online_throughput=online_throughput,
-        online_min_rate=online_min_rate,
-        online_session_rates=online_rates,
-        online_trees_used=online_trees,
+def limited_tree_arrival_spec(
+    setting: LimitedTreeSetting, tree_limit: int, ordering: int
+) -> ArrivalSpec:
+    """The arrival process of one limited-tree online ordering.
+
+    Documented seed mapping (the reproducibility contract): ordering
+    ``j`` at tree limit ``l`` permutes with
+    ``spawn_child_seed(setting.seed, l, j)`` — a two-level
+    ``SeedSequence`` spawn tree (:func:`repro.util.rng.spawn_child_seed`)
+    that, unlike the old additive ``setting.seed + l`` roots, cannot
+    collide across nearby limits or with the rounding-trial seeds.
+    Orderings are shared across sigmas, as in the original harness.
+    """
+    return ArrivalSpec(
+        replication=tree_limit,
+        seed=spawn_child_seed(setting.seed, tree_limit, ordering),
+        demand=1.0,
+    )
+
+
+def limited_tree_online_spec(
+    scale: str, routing_kind: str, tree_limit: int, sigma: float, ordering: int
+) -> ScenarioSpec:
+    """Declarative spec of one limited-tree online ordering cell.
+
+    ``repro.api.solve`` on this spec reproduces the corresponding
+    :func:`limited_tree_study` online sample bit-identically — which is
+    what lets the study route its online cells through ``solve_many``
+    and the persistent report store.
+    """
+    setting = limited_tree_setting_for_scale(scale)
+    return flat_setting_for_scale(scale).online_scenario_spec(
+        routing_kind, sigma, limited_tree_arrival_spec(setting, tree_limit, ordering)
+    )
+
+
+def _assemble_online_point(
+    base_sessions: Sequence[Session],
+    solutions: Sequence[FlowSolution],
+) -> Tuple[float, float, List[float], List[float]]:
+    """Average one (limit, sigma) cell's ordering solutions.
+
+    Returns (mean throughput, mean min rate, per-session mean rates,
+    per-session mean tree counts), with grouped results aligned back to
+    the original session order.
+    """
+    num_sessions = len(base_sessions)
+    throughputs = []
+    min_rates = []
+    rates_acc = np.zeros(num_sessions)
+    trees_acc = np.zeros(num_sessions)
+    for solution in solutions:
+        throughputs.append(solution.overall_throughput)
+        min_rates.append(solution.min_rate)
+        by_members = {
+            tuple(sorted(s.session.members)): s for s in solution.sessions
+        }
+        for index, session in enumerate(base_sessions):
+            grouped = by_members[tuple(sorted(session.members))]
+            rates_acc[index] += grouped.rate
+            trees_acc[index] += grouped.num_trees
+    count = float(len(solutions))
+    return (
+        float(np.mean(throughputs)),
+        float(np.mean(min_rates)),
+        list(rates_acc / count),
+        list(trees_acc / count),
     )
 
 
@@ -342,9 +356,12 @@ def limited_tree_study(
 ) -> LimitedTreeStudy:
     """Run (or fetch) the Random/Online versus tree-limit study.
 
-    The fractional reference routes through the persistent store when
-    one is configured; the rounding/online cells are procedural (not
-    spec-representable) and always solve live.
+    The fractional reference and every online ordering cell are
+    spec-representable and solve through ``repro.api.solve_many`` — with
+    a persistent store (``store=`` or ``REPRO_STORE``) a re-run of the
+    study's online cells performs zero solver calls.  The rounding
+    trials remain procedural (they resample a live fractional solution)
+    and always compute.
     """
     key = (scale, routing_kind)
     if key in _LIMITED_TREE_STUDIES:
@@ -352,10 +369,68 @@ def limited_tree_study(
 
     setting = limited_tree_setting_for_scale(scale)
     fractional = _limited_tree_fractional(scale, routing_kind, store=store)
-    tasks = [
+    base_sessions = flat_instance(scale, routing_kind).sessions
+    num_sessions = len(base_sessions)
+
+    rounding_tasks = [
         (scale, routing_kind, limit, fractional) for limit in setting.tree_limits
     ]
-    points = _map_cells(_solve_limited_tree_point, tasks, jobs)
+    rounding_stats = _map_cells(_solve_rounding_point, rounding_tasks, jobs)
+
+    # One spec per (limit, sigma, ordering): the whole online side of the
+    # study is a flat batch, so the service deduplicates, parallelises
+    # and (with a store) persists it like any other sweep.
+    cells = [
+        (limit, sigma, ordering)
+        for limit in setting.tree_limits
+        for sigma in setting.sigmas
+        for ordering in range(setting.online_orderings)
+    ]
+    specs = [
+        limited_tree_online_spec(scale, routing_kind, limit, sigma, ordering)
+        for limit, sigma, ordering in cells
+    ]
+    reports = solve_many(specs, jobs=jobs, store=store)
+    solutions_by_cell = {
+        cell: report.solution for cell, report in zip(cells, reports)
+    }
+
+    points = []
+    for limit, random_stats in zip(setting.tree_limits, rounding_stats):
+        online_throughput: Dict[float, float] = {}
+        online_min_rate: Dict[float, float] = {}
+        online_rates: Dict[float, List[float]] = {}
+        online_trees: Dict[float, List[float]] = {}
+        for sigma in setting.sigmas:
+            samples = [
+                solutions_by_cell[(limit, sigma, ordering)]
+                for ordering in range(setting.online_orderings)
+            ]
+            (
+                online_throughput[sigma],
+                online_min_rate[sigma],
+                online_rates[sigma],
+                online_trees[sigma],
+            ) = _assemble_online_point(base_sessions, samples)
+        points.append(
+            LimitedTreePoint(
+                tree_limit=limit,
+                random_throughput=random_stats["mean_throughput"],
+                random_min_rate=random_stats["mean_min_rate"],
+                random_session_rates=[
+                    random_stats[f"mean_rate_session_{i + 1}"]
+                    for i in range(num_sessions)
+                ],
+                random_trees_used=[
+                    random_stats[f"mean_trees_session_{i + 1}"]
+                    for i in range(num_sessions)
+                ],
+                online_throughput=online_throughput,
+                online_min_rate=online_min_rate,
+                online_session_rates=online_rates,
+                online_trees_used=online_trees,
+            )
+        )
 
     study = LimitedTreeStudy(setting=setting, fractional=fractional, points=points)
     _LIMITED_TREE_STUDIES[key] = study
@@ -448,36 +523,58 @@ def sweep_runs(
 def _solve_online_cell(task: Tuple[str, int, Tuple[int, int]]) -> FlowSolution:
     """Route one grid point's replicated arrival sequence online.
 
-    The arrival ordering is seeded per grid point, so cells are
-    independent of each other and of execution order.
+    The arrival process comes from the cell's declarative spec
+    (:meth:`SweepSetting.online_scenario_spec` — replication, demand
+    and a spawn-tree permutation seed), applied to the shared cached
+    instance, so this procedural path is bit-identical to solving the
+    spec through ``repro.api``.
     """
     scale, tree_limit, grid_point = task
     instance = sweep_instance(scale)
     setting = instance.setting
-    sessions = instance.sessions[grid_point]
-    rng = ensure_rng(setting.seed + grid_point[0] * 37 + grid_point[1])
-    arrivals: List[Session] = []
-    for session in sessions:
-        arrivals.extend(session.replicate(tree_limit, demand=setting.demand))
-    order = rng.permutation(len(arrivals))
-    ordered = [arrivals[i] for i in order]
+    spec = setting.online_scenario_spec(*grid_point, tree_limit)
+    ordered = spec.arrivals.apply(instance.sessions[grid_point])
     return solve_instance(
-        "online",
-        ordered,
-        instance.routing,
-        {"sigma": setting.online_sigma, "group_by_members": True},
+        "online", ordered, instance.routing, spec.solver_params
     )
 
 
+def online_scenario_spec(
+    scale: str, tree_limit: int, count: int, size: int
+) -> ScenarioSpec:
+    """Declarative spec of one Section VI online grid cell.
+
+    ``repro.api.solve`` on this spec reproduces the corresponding
+    :func:`online_sweep_runs` cell bit-identically.
+    """
+    return sweep_setting_for_scale(scale).online_scenario_spec(count, size, tree_limit)
+
+
 def online_sweep_runs(
-    scale: str, tree_limit: int, jobs: Optional[int] = None
+    scale: str,
+    tree_limit: int,
+    jobs: Optional[int] = None,
+    store: StoreLike = None,
 ) -> Dict[Tuple[int, int], FlowSolution]:
-    """Online algorithm over the grid with each session replicated ``tree_limit`` times."""
+    """Online algorithm over the grid with each session replicated ``tree_limit`` times.
+
+    With a persistent store (``store=`` or ``REPRO_STORE``), grid cells
+    route through the spec path — a warm re-run of the online sweep
+    performs zero solver calls, exactly like the offline sweeps.
+    """
     key = (scale, tree_limit)
     if key not in _ONLINE_SWEEP_RUNS:
         instance = sweep_instance(scale)
         grid_points = list(instance.sessions)
-        tasks = [(scale, tree_limit, gp) for gp in grid_points]
-        results = _map_cells(_solve_online_cell, tasks, jobs)
+        resolved_store = resolve_store(store)
+        if resolved_store is not None:
+            specs = [
+                online_scenario_spec(scale, tree_limit, count, size)
+                for count, size in grid_points
+            ]
+            results = _solve_specs_store_backed(specs, jobs, resolved_store)
+        else:
+            tasks = [(scale, tree_limit, gp) for gp in grid_points]
+            results = _map_cells(_solve_online_cell, tasks, jobs)
         _ONLINE_SWEEP_RUNS[key] = dict(zip(grid_points, results))
     return _ONLINE_SWEEP_RUNS[key]

@@ -21,11 +21,12 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Tuple
 
 from repro.api.registry import default_registry
-from repro.api.specs import ScenarioSpec, TopologySpec, WorkloadSpec
+from repro.api.specs import ArrivalSpec, ScenarioSpec, TopologySpec, WorkloadSpec
 from repro.overlay.session import Session
 from repro.routing.base import RoutingModel
 from repro.topology.network import PhysicalNetwork
 from repro.util.errors import ConfigurationError
+from repro.util.rng import spawn_child_seed
 
 DEFAULT_SEED = 2004
 
@@ -104,6 +105,25 @@ class FlatSetting:
             solver_params=params,
         )
 
+    def online_scenario_spec(
+        self, routing_kind: str, sigma: float, arrivals: ArrivalSpec
+    ) -> ScenarioSpec:
+        """The declarative scenario of one online run over this setting.
+
+        ``arrivals`` pins the replication and arrival order, so the spec
+        fully determines the run; the limited-tree study derives the
+        arrival seeds (see
+        :func:`repro.experiments.runner.limited_tree_arrival_spec`).
+        """
+        return ScenarioSpec(
+            topology=self.topology_spec(),
+            workload=self.workload_spec(),
+            routing=routing_kind,
+            solver="online",
+            solver_params={"sigma": sigma, "group_by_members": True},
+            arrivals=arrivals,
+        )
+
     def build_network(self) -> PhysicalNetwork:
         """The Waxman topology of this setting."""
         return self.topology_spec().build()
@@ -178,6 +198,30 @@ class SweepSetting:
             routing="ip",
             solver=solver,
             solver_params=params,
+        )
+
+    def online_scenario_spec(self, count: int, size: int, tree_limit: int) -> ScenarioSpec:
+        """The declarative scenario of one Section VI *online* grid cell.
+
+        Each session is replicated ``tree_limit`` times and the replica
+        list is permuted with a seed from the setting's spawn tree —
+        documented mapping: ``spawn_child_seed(setting.seed, tree_limit,
+        count, size)`` (see :func:`repro.util.rng.spawn_child_seed`),
+        which cannot collide across nearby grid points or tree limits
+        the way the old additive ``seed + 37*count + size`` derivation
+        could.  The spec fully determines the run, so online cells route
+        through the report store exactly like offline cells.
+        """
+        return ScenarioSpec(
+            topology=self.topology_spec(),
+            workload=self.workload_spec(count, size),
+            routing="ip",
+            solver="online",
+            solver_params={"sigma": self.online_sigma, "group_by_members": True},
+            arrivals=ArrivalSpec(
+                replication=tree_limit,
+                seed=spawn_child_seed(self.seed, tree_limit, count, size),
+            ),
         )
 
     def build_network(self) -> PhysicalNetwork:

@@ -197,6 +197,25 @@ class MinimumOverlayTreeOracle:
         self._cache_hits = 0
         self._cache_misses = 0
 
+    @property
+    def is_fixed(self) -> bool:
+        """Whether the routing model is fixed (precomputable incidence)."""
+        return self._fixed
+
+    @property
+    def incidence(self):
+        """The sparse pair-by-edge incidence matrix (fixed routing only).
+
+        The :class:`~repro.core.engine.batch.BatchedOracleFront` stacks
+        these across sessions to serve all-session query rounds with one
+        mat-vec.
+        """
+        if not self._fixed:
+            raise ConfigurationError(
+                "the incidence matrix exists only under fixed routing"
+            )
+        return self._incidence
+
     def max_route_length(self) -> int:
         """``U`` — the longest unicast route (in hops) among member pairs."""
         return self._routing.max_route_hops(self._members)
@@ -218,63 +237,95 @@ class MinimumOverlayTreeOracle:
         This is the operation counted in the paper's "running time
         (number of MST operations)" rows.
         """
-        self._call_count += 1
         lengths = np.asarray(edge_lengths, dtype=float)
         members = self._members
 
         if self._fixed:
-            pair_lengths = self._incidence @ lengths
-            # The preallocated matrix is exactly symmetric by construction
-            # (both triangles written from one vector), so the MST step
-            # can skip its validation pass.
-            weight = self._weight
-            weight[self._triu_rows, self._triu_cols] = pair_lengths
-            weight[self._triu_cols, self._triu_rows] = pair_lengths
-            tree_index_pairs = minimum_spanning_tree_pairs(weight, validate=False)
-            tree = None
-            if self._memoize:
-                # Sort so the key is independent of Prim's discovery order:
-                # the same tree reached from different length functions must
-                # hit the same cache entry.
-                key: Tuple = tuple(sorted(tree_index_pairs))
-                tree = self._tree_cache.get(key)
-            if tree is None:
-                overlay_edges = [
-                    pair_key(members[i], members[j]) for i, j in tree_index_pairs
-                ]
-                tree = OverlayTree.from_paths(
-                    members, overlay_edges, self._paths, self._network.num_edges
-                )
-                if self._memoize:
-                    self._tree_cache[key] = tree
-                    self._cache_misses += 1
-            else:
-                self._cache_hits += 1
-        else:
-            weight = self._routing.pair_lengths(members, lengths)
-            tree_index_pairs = minimum_spanning_tree_pairs(weight, validate=False)
-            overlay_edges = [
-                pair_key(members[i], members[j]) for i, j in tree_index_pairs
-            ]
-            paths = self._routing.paths_for_pairs(overlay_edges, lengths)
-            tree = None
-            if self._memoize:
-                # Under dynamic routing the overlay edges alone do not pin
-                # down the physical realisation — include the path node
-                # sequences in the key.  Sorted, so the key is independent
-                # of Prim's discovery order.
-                key = tuple(sorted((pk, paths[pk].nodes) for pk in overlay_edges))
-                tree = self._tree_cache.get(key)
-            if tree is None:
-                tree = OverlayTree.from_paths(
-                    members, overlay_edges, paths, self._network.num_edges
-                )
-                if self._memoize:
-                    self._tree_cache[key] = tree
-                    self._cache_misses += 1
-            else:
-                self._cache_hits += 1
+            return self.minimum_tree_precomputed(self._incidence @ lengths, lengths)
+
+        self._call_count += 1
+        weight = self._routing.pair_lengths(members, lengths)
+        tree_index_pairs = minimum_spanning_tree_pairs(weight, validate=False)
+        overlay_edges = [
+            pair_key(members[i], members[j]) for i, j in tree_index_pairs
+        ]
+        paths = self._routing.paths_for_pairs(overlay_edges, lengths)
+        # Under dynamic routing the overlay edges alone do not pin down
+        # the physical realisation — include the path node sequences in
+        # the key.  Sorted, so the key is independent of Prim's
+        # discovery order.
+        key = (
+            tuple(sorted((pk, paths[pk].nodes) for pk in overlay_edges))
+            if self._memoize
+            else None
+        )
+        tree = self._cached_tree(
+            key,
+            lambda: OverlayTree.from_paths(
+                members, overlay_edges, paths, self._network.num_edges
+            ),
+        )
         return OracleResult(tree=tree, length=tree.length(lengths))
+
+    def minimum_tree_precomputed(
+        self, pair_lengths: np.ndarray, edge_lengths: np.ndarray
+    ) -> OracleResult:
+        """Fixed-routing oracle given precomputed overlay pair lengths.
+
+        ``pair_lengths`` must equal ``incidence @ edge_lengths`` (row
+        per :meth:`~repro.routing.ip_routing.FixedIPRouting.member_pairs`
+        entry) — the batched oracle front computes it for all sessions in
+        one stacked mat-vec and hands each oracle its slice.  Counts as
+        one MST operation, exactly like :meth:`minimum_tree`.
+        """
+        if not self._fixed:
+            raise ConfigurationError(
+                "precomputed pair lengths apply to fixed routing only"
+            )
+        self._call_count += 1
+        members = self._members
+        lengths = np.asarray(edge_lengths, dtype=float)
+        # The preallocated matrix is exactly symmetric by construction
+        # (both triangles written from one vector), so the MST step
+        # can skip its validation pass.
+        weight = self._weight
+        weight[self._triu_rows, self._triu_cols] = pair_lengths
+        weight[self._triu_cols, self._triu_rows] = pair_lengths
+        tree_index_pairs = minimum_spanning_tree_pairs(weight, validate=False)
+        # Sort so the key is independent of Prim's discovery order: the
+        # same tree reached from different length functions must hit the
+        # same cache entry.  Fixed routes pin down the physical
+        # realisation, so the index pairs alone suffice.
+        key = tuple(sorted(tree_index_pairs)) if self._memoize else None
+        tree = self._cached_tree(
+            key,
+            lambda: OverlayTree.from_paths(
+                members,
+                [pair_key(members[i], members[j]) for i, j in tree_index_pairs],
+                self._paths,
+                self._network.num_edges,
+            ),
+        )
+        return OracleResult(tree=tree, length=tree.length(lengths))
+
+    def _cached_tree(self, key: Optional[Tuple], build) -> OverlayTree:
+        """Memoized tree construction shared by both routing branches.
+
+        ``key=None`` (memoization off) builds unconditionally; otherwise
+        a hit returns the cached object and a miss builds, stores and
+        counts.  The builder runs only on a miss, so the fixed-routing
+        hot path never recomputes overlay pair keys for cached trees.
+        """
+        if key is not None:
+            tree = self._tree_cache.get(key)
+            if tree is not None:
+                self._cache_hits += 1
+                return tree
+        tree = build()
+        if key is not None:
+            self._tree_cache[key] = tree
+            self._cache_misses += 1
+        return tree
 
     def normalized_length(self, result: OracleResult, max_session_size: int) -> float:
         """Paper's normalised tree length weighted by receiver counts.

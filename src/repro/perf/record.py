@@ -17,7 +17,12 @@ from one PR to the next:
 * the **length-update batching** ablation: one
   :meth:`LengthFunction.multiply_batch` call over an accumulated batch
   of (edge, factor) updates versus the per-step ``multiply`` loop it
-  coalesces.
+  coalesces,
+* the **oracle batching** ablation: one
+  :class:`~repro.core.engine.BatchedOracleFront` round (a stacked
+  incidence mat-vec answering every session's tree query at once — the
+  engine's per-iteration all-session scan) versus the per-oracle query
+  loop it replaces.
 
 The record is a *trajectory*, not a snapshot: every run appends a
 compact entry to the ``history`` list (the latest run's full sections
@@ -51,8 +56,8 @@ from repro.util.errors import ConfigurationError
 from repro.util.rng import ensure_rng
 from repro.util.serialization import dump_json
 
-BENCH_SCHEMA = "BENCH_core/v3"
-_KNOWN_SCHEMAS = ("BENCH_core/v1", "BENCH_core/v2", BENCH_SCHEMA)
+BENCH_SCHEMA = "BENCH_core/v4"
+_KNOWN_SCHEMAS = ("BENCH_core/v1", "BENCH_core/v2", "BENCH_core/v3", BENCH_SCHEMA)
 
 
 @dataclass(frozen=True)
@@ -77,6 +82,12 @@ class PerfProfile:
     multiply_updates: int = 512
     multiply_edges_per_update: int = 24
     multiply_reps: int = 50
+    # The oracle-batch ablation: a many-session instance (the batched
+    # front's win grows with the session count) and how many all-session
+    # query rounds to time.
+    batch_nodes: int = 200
+    batch_sessions: Tuple[int, ...] = (8, 6, 7, 8, 6, 7, 8, 6)
+    batch_rounds: int = 300
     seed: int = 2004
 
 
@@ -92,6 +103,9 @@ TINY_PROFILE = PerfProfile(
     length_evals=2000,
     multiply_updates=128,
     multiply_reps=5,
+    batch_nodes=80,
+    batch_sessions=(5, 4, 5, 4),
+    batch_rounds=40,
 )
 QUICK_PROFILE = PerfProfile(
     name="quick",
@@ -260,6 +274,71 @@ def _timed_multiply_batch(profile: PerfProfile) -> Dict[str, float]:
     }
 
 
+def _timed_oracle_batch(profile: PerfProfile) -> Dict[str, float]:
+    """Ablation: one batched all-session oracle round vs the query loop.
+
+    Both arms answer the same query — every session's minimum overlay
+    tree under a shared length vector, the scan MaxFlow performs each
+    iteration — over the same cycled pool of length vectors, with
+    separate oracle sets so neither arm warms the other's tree cache.
+    The batched arm is one stacked incidence mat-vec plus per-session
+    tree construction (:class:`repro.core.engine.BatchedOracleFront`);
+    the loop arm is one ``incidence @ lengths`` per session.  Results
+    are bit-identical (asserted in the engine equivalence suite); here
+    we only time.
+    """
+    from repro.core.engine import BatchedOracleFront
+    from repro.overlay.oracle import build_oracles
+
+    network = paper_flat_topology(
+        num_nodes=profile.batch_nodes, capacity=100.0, seed=profile.seed
+    )
+    rng = ensure_rng(profile.seed + 4)
+    sessions = [
+        random_session(network, size, demand=100.0, seed=rng, name=f"batch-{i + 1}")
+        for i, size in enumerate(profile.batch_sessions)
+    ]
+    routing = FixedIPRouting(network)
+    batched_oracles = build_oracles(sessions, routing)
+    loop_oracles = build_oracles(sessions, routing)
+    front = BatchedOracleFront(batched_oracles)
+    indices = list(range(len(sessions)))
+    pool = [
+        ensure_rng(profile.seed + 5 + i).uniform(0.1, 1.0, network.num_edges)
+        for i in range(8)
+    ]
+
+    # Warm both arms (route caches, incidence build, tree caches) so the
+    # timed rounds compare steady-state query cost.
+    front.query(indices, pool[0])
+    for oracle in loop_oracles:
+        oracle.minimum_tree(pool[0])
+
+    rounds = profile.batch_rounds
+    start = time.perf_counter()
+    for r in range(rounds):
+        front.query(indices, pool[r % len(pool)])
+    batched_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for r in range(rounds):
+        lengths = pool[r % len(pool)]
+        for oracle in loop_oracles:
+            oracle.minimum_tree(lengths)
+    loop_seconds = time.perf_counter() - start
+
+    return {
+        "rounds": float(rounds),
+        "sessions": float(len(sessions)),
+        "num_edges": float(network.num_edges),
+        "batched_seconds": batched_seconds,
+        "loop_seconds": loop_seconds,
+        "batched_rounds_per_sec": rounds / batched_seconds if batched_seconds > 0 else 0.0,
+        "loop_rounds_per_sec": rounds / loop_seconds if loop_seconds > 0 else 0.0,
+        "batched_speedup": loop_seconds / batched_seconds if batched_seconds > 0 else 0.0,
+    }
+
+
 def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
     """Measure the oracle hot path and return one run's BENCH_core record."""
     profile = profile_for_scale(scale)
@@ -280,6 +359,7 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
     )
     tree_length = _timed_tree_length(profile)
     length_multiply = _timed_multiply_batch(profile)
+    oracle_batch = _timed_oracle_batch(profile)
 
     speedup = (
         fixed_unmemoized["seconds"] / fixed_memoized["seconds"]
@@ -308,6 +388,7 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
         },
         "tree_length": tree_length,
         "length_multiply": length_multiply,
+        "oracle_batch": oracle_batch,
     }
 
 
@@ -336,6 +417,12 @@ def _history_entry(record: Dict[str, object]) -> Dict[str, object]:
             "batched_updates_per_sec"
         )
         entry["multiply_batched_speedup"] = length_multiply.get("batched_speedup")
+    oracle_batch = record.get("oracle_batch", {})
+    if oracle_batch:
+        entry["oracle_batch_rounds_per_sec"] = oracle_batch.get(
+            "batched_rounds_per_sec"
+        )
+        entry["oracle_batch_speedup"] = oracle_batch.get("batched_speedup")
     return entry
 
 

@@ -273,6 +273,9 @@ class TestCli:
             for report in reports:
                 cleaned = dict(report)
                 cleaned.pop("wall_seconds")
+                # Engine telemetry carries wall-clock oracle timings —
+                # per-run, like wall_seconds.
+                cleaned.pop("instrumentation", None)
                 out.append(cleaned)
             return out
 

@@ -1,0 +1,427 @@
+"""Engine-equivalence suite: the phase-engine refactor changes nothing.
+
+``repro.core.engine`` replaced the hand-rolled multiplicative-weights
+loops inside MaxFlow, MaxConcurrentFlow and Online-MinCongestion.  The
+refactor's contract is *bit identity*: the ported solvers must produce
+``FlowSolution``s exactly equal — rates, per-tree flows, oracle-call
+counters, every ``extra`` entry — to the pre-refactor implementations.
+
+The reference implementations below are verbatim ports of the
+pre-engine solver loops (PR 3 state), written against the same public
+building blocks (``LengthFunction``, ``build_oracles``,
+``SessionFlowAccumulator``), so any behavioural drift in the engine
+shows up as a fingerprint mismatch here.  Coverage: all four registered
+solvers x both routing models, plus the batched-oracle-front ablation
+(batched vs per-session query rounds) and the front's slice-level
+bit-identity.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BatchedOracleFront
+from repro.core.lengths import LengthFunction
+from repro.core.maxconcurrent import MaxConcurrentFlow, MaxConcurrentFlowConfig
+from repro.core.maxflow import MaxFlow, MaxFlowConfig
+from repro.core.online import OnlineConfig, OnlineMinCongestion
+from repro.core.result import (
+    FlowSolution,
+    SessionFlowAccumulator,
+    SessionResult,
+    TreeFlow,
+)
+from repro.core.rounding import RandomMinCongestion
+from repro.overlay.oracle import build_oracles
+from repro.overlay.session import Session
+from repro.routing.dynamic import DynamicRouting
+from repro.routing.ip_routing import FixedIPRouting
+
+
+# ----------------------------------------------------------------------
+# reference implementations (the pre-engine loops, verbatim)
+# ----------------------------------------------------------------------
+def reference_max_flow(sessions, routing, epsilon):
+    """Pre-refactor MaxFlow.solve (hand-rolled Table I loop)."""
+    capacities = routing.network.capacities
+    num_edges = routing.network.num_edges
+    oracles = build_oracles(sessions, routing)
+    max_size = max(s.size for s in sessions)
+    longest_route = max(1, max(o.max_route_length() for o in oracles))
+    lengths = LengthFunction.for_maxflow(num_edges, epsilon, max_size, longest_route)
+    log_delta = lengths.log_offset
+    scale_denominator = (math.log1p(epsilon) - log_delta) / math.log1p(epsilon)
+    accumulators = [SessionFlowAccumulator(session=s) for s in sessions]
+    iterations = 0
+    while True:
+        iterations += 1
+        best_index = -1
+        best_norm_length = math.inf
+        best_result = None
+        for index, oracle in enumerate(oracles):
+            result = oracle.minimum_tree(lengths.relative)
+            norm = oracle.normalized_length(result, max_size)
+            if norm < best_norm_length:
+                best_norm_length = norm
+                best_index = index
+                best_result = result
+        if lengths.at_least_one(best_norm_length):
+            break
+        tree = best_result.tree
+        bottleneck = tree.bottleneck_capacity(capacities)
+        accumulators[best_index].add(tree, bottleneck)
+        used = tree.physical_edges
+        factors = 1.0 + epsilon * tree.usage_values * bottleneck / capacities[used]
+        lengths.multiply(used, factors)
+    scale = 1.0 / scale_denominator
+    session_results = tuple(
+        SessionResult(session=acc.session, tree_flows=tuple(acc.scaled(scale)))
+        for acc in accumulators
+    )
+    probe = FlowSolution(
+        algorithm="MaxFlow", sessions=session_results, network=routing.network
+    )
+    congestion = probe.max_congestion()
+    if congestion > 1.0:
+        session_results = tuple(
+            SessionResult(
+                session=s.session,
+                tree_flows=tuple(
+                    TreeFlow(tree=tf.tree, flow=tf.flow / congestion)
+                    for tf in s.tree_flows
+                ),
+            )
+            for s in session_results
+        )
+    return FlowSolution(
+        algorithm="MaxFlow",
+        sessions=session_results,
+        network=routing.network,
+        epsilon=epsilon,
+        oracle_calls=sum(o.call_count for o in oracles),
+        extra={
+            "iterations": float(iterations),
+            "scale_denominator": scale_denominator,
+            "longest_route": float(longest_route),
+            "routing": "dynamic" if routing.is_dynamic else "fixed",
+        },
+    )
+
+
+def reference_max_concurrent_flow(sessions, routing, epsilon, prescale_epsilon):
+    """Pre-refactor MaxConcurrentFlow.solve (hand-rolled Table III loop)."""
+    network = routing.network
+    capacities = network.capacities
+    num_edges = network.num_edges
+    k = len(sessions)
+
+    prescale_calls = 0
+    beta = []
+    for session in sessions:
+        standalone = reference_max_flow([session], routing, prescale_epsilon)
+        beta.append(standalone.sessions[0].rate)
+        prescale_calls += standalone.oracle_calls
+    beta = np.asarray(beta, dtype=float)
+    demands = np.asarray([s.demand for s in sessions], dtype=float)
+    zeta = float(np.min(beta / demands))
+    working_demands = demands * (zeta / k)
+
+    oracles = build_oracles(sessions, routing)
+    lengths = LengthFunction.for_concurrent(capacities, epsilon)
+    log_delta = lengths.log_offset
+    scale_denominator = -log_delta / math.log1p(epsilon)
+    phase_budget = 1 + int(
+        math.ceil(
+            (2.0 / epsilon)
+            * (math.log(num_edges / (1.0 - epsilon)) / math.log1p(epsilon))
+        )
+    )
+    accumulators = [SessionFlowAccumulator(session=s) for s in sessions]
+    steps = 0
+    phases = 0
+    doublings = 0
+    phases_since_doubling = 0
+
+    def dual_objective_reached():
+        return lengths.weighted_sum_log(capacities) >= 0.0
+
+    while not dual_objective_reached():
+        phases += 1
+        phases_since_doubling += 1
+        for index, oracle in enumerate(oracles):
+            remaining = float(working_demands[index])
+            while remaining > 0 and not dual_objective_reached():
+                steps += 1
+                result = oracle.minimum_tree(lengths.relative)
+                tree = result.tree
+                bottleneck = tree.bottleneck_capacity(capacities)
+                amount = min(remaining, bottleneck)
+                remaining -= amount
+                accumulators[index].add(tree, amount)
+                used = tree.physical_edges
+                factors = 1.0 + epsilon * tree.usage_values * amount / capacities[used]
+                lengths.multiply(used, factors)
+        if phases_since_doubling >= phase_budget and not dual_objective_reached():
+            working_demands = working_demands * 2.0
+            doublings += 1
+            phases_since_doubling = 0
+
+    scale = 1.0 / scale_denominator
+    session_results = tuple(
+        SessionResult(session=acc.session, tree_flows=tuple(acc.scaled(scale)))
+        for acc in accumulators
+    )
+    main_calls = sum(o.call_count for o in oracles)
+    solution = FlowSolution(
+        algorithm="MaxConcurrentFlow",
+        sessions=session_results,
+        network=network,
+        epsilon=epsilon,
+        oracle_calls=main_calls + prescale_calls,
+    )
+    congestion = solution.max_congestion()
+    if congestion > 1.0:
+        session_results = tuple(
+            SessionResult(
+                session=s.session,
+                tree_flows=tuple(
+                    TreeFlow(tree=tf.tree, flow=tf.flow / congestion)
+                    for tf in s.tree_flows
+                ),
+            )
+            for s in session_results
+        )
+    return FlowSolution(
+        algorithm="MaxConcurrentFlow",
+        sessions=session_results,
+        network=network,
+        epsilon=epsilon,
+        oracle_calls=main_calls + prescale_calls,
+        extra={
+            "phases": float(phases),
+            "steps": float(steps),
+            "doublings": float(doublings),
+            "main_oracle_calls": float(main_calls),
+            "prescale_oracle_calls": float(prescale_calls),
+            "zeta_upper_bound": zeta,
+            "routing": "dynamic" if routing.is_dynamic else "fixed",
+        },
+    )
+
+
+def reference_online_assignments(arrivals, routing, sigma):
+    """Pre-refactor online accept loop: per-arrival (tree key, lmax)."""
+    network = routing.network
+    capacities = network.capacities
+    lengths = LengthFunction.for_online(capacities)
+    congestion = np.zeros(network.num_edges, dtype=float)
+    oracle_by_members = {}
+    trail = []
+    for session in arrivals:
+        key = tuple(sorted(session.members))
+        oracle = oracle_by_members.get(key)
+        if oracle is None:
+            oracle = build_oracles([session], routing)[0]
+            oracle_by_members[key] = oracle
+        result = oracle.minimum_tree(lengths.relative)
+        tree = result.tree
+        used = tree.physical_edges
+        load = tree.usage_values * session.demand / capacities[used]
+        lengths.multiply(used, 1.0 + sigma * load)
+        congestion[used] += load
+        trail.append((tree.canonical_key(), float(congestion.max())))
+    return trail
+
+
+def fingerprint(solution):
+    """Everything the paper reports about a solution, exactly."""
+    return {
+        "algorithm": solution.algorithm,
+        "epsilon": solution.epsilon,
+        "oracle_calls": solution.oracle_calls,
+        "rates": [s.rate for s in solution.sessions],
+        "names": [s.session.name for s in solution.sessions],
+        "num_trees": solution.num_trees_per_session,
+        "flows": [
+            sorted((tf.tree.canonical_key(), tf.flow) for tf in s.tree_flows)
+            for s in solution.sessions
+        ],
+        "extra": dict(solution.extra),
+    }
+
+
+@pytest.fixture(scope="module")
+def equivalence_sessions():
+    return [
+        Session((0, 4, 9, 13), demand=100.0, name="s1"),
+        Session((2, 7, 20), demand=100.0, name="s2"),
+    ]
+
+
+@pytest.mark.parametrize("routing_cls", [FixedIPRouting, DynamicRouting])
+class TestEngineEquivalence:
+    def test_max_flow_bit_identical(
+        self, waxman_network, equivalence_sessions, routing_cls
+    ):
+        reference = reference_max_flow(
+            equivalence_sessions, routing_cls(waxman_network), epsilon=0.15
+        )
+        ported = MaxFlow(
+            equivalence_sessions,
+            routing_cls(waxman_network),
+            MaxFlowConfig(epsilon=0.15),
+        ).solve()
+        assert fingerprint(ported) == fingerprint(reference)
+        assert ported.instrumentation is not None
+        assert ported.instrumentation["steps"] == int(reference.extra["iterations"])
+
+    def test_max_concurrent_flow_bit_identical(
+        self, waxman_network, equivalence_sessions, routing_cls
+    ):
+        reference = reference_max_concurrent_flow(
+            equivalence_sessions,
+            routing_cls(waxman_network),
+            epsilon=0.25,
+            prescale_epsilon=0.25,
+        )
+        ported = MaxConcurrentFlow(
+            equivalence_sessions,
+            routing_cls(waxman_network),
+            MaxConcurrentFlowConfig(epsilon=0.25, prescale_epsilon=0.25),
+        ).solve()
+        assert fingerprint(ported) == fingerprint(reference)
+        assert ported.instrumentation["phases"] == int(reference.extra["phases"])
+
+    def test_online_bit_identical(
+        self, waxman_network, equivalence_sessions, routing_cls
+    ):
+        arrivals = [
+            copy
+            for session in equivalence_sessions
+            for copy in session.replicate(3, demand=1.0)
+        ]
+        reference_trail = reference_online_assignments(
+            arrivals, routing_cls(waxman_network), sigma=50.0
+        )
+        solver = OnlineMinCongestion(
+            routing_cls(waxman_network), OnlineConfig(sigma=50.0)
+        )
+        for session in arrivals:
+            solver.accept(session)
+        ported_trail = [
+            (tree.canonical_key(), None) for _, tree, _ in solver.state.assignments
+        ]
+        assert [k for k, _ in ported_trail] == [k for k, _ in reference_trail]
+        assert solver.state.max_congestion == reference_trail[-1][1]
+        solution = solver.solution(group_by_members=True)
+        assert solution.oracle_calls == len(arrivals)
+        # Congestion snapshots (one per arrival) ride in instrumentation.
+        snaps = [
+            e for e in solution.instrumentation["events"] if e["kind"] == "congestion"
+        ]
+        assert [s["max_congestion"] for s in snaps] == [c for _, c in reference_trail]
+
+    def test_randomized_rounding_bit_identical(
+        self, waxman_network, equivalence_sessions, routing_cls
+    ):
+        from repro.api.registry import default_registry
+
+        reference_fractional = reference_max_concurrent_flow(
+            equivalence_sessions,
+            routing_cls(waxman_network),
+            epsilon=0.25,
+            prescale_epsilon=0.25,
+        )
+        reference = RandomMinCongestion(
+            reference_fractional, seed=17
+        ).select_trees(2).solution
+        ported = default_registry().solver("randomized_rounding")(
+            equivalence_sessions,
+            routing_cls(waxman_network),
+            epsilon=0.25,
+            prescale_epsilon=0.25,
+            max_trees=2,
+            seed=17,
+        )
+        ref_fp = fingerprint(reference)
+        ported_fp = fingerprint(ported)
+        # The rounding selection carries no solver extra; compare the
+        # flow decomposition and counters.
+        ref_fp.pop("extra")
+        ported_fp.pop("extra")
+        assert ported_fp == ref_fp
+
+
+def test_feed_driven_engine_is_idle_not_stopped_when_drained(waxman_network):
+    # The advertised stepwise pattern: a feed-driven policy that is
+    # momentarily out of arrivals must leave the engine resumable —
+    # step() returns None (idle) and later fed work is still served.
+    from repro.core.engine import OnlineArrivalPolicy, PhaseEngine, RunToExhaustion
+    from repro.core.lengths import LengthFunction as LF
+    from repro.overlay.oracle import MinimumOverlayTreeOracle
+
+    routing = FixedIPRouting(waxman_network)
+    policy = OnlineArrivalPolicy(sigma=10.0)
+    engine = PhaseEngine(
+        oracles=[],
+        lengths=LF.for_online(waxman_network.capacities),
+        capacities=waxman_network.capacities,
+        policy=policy,
+        stopping=RunToExhaustion(),
+        accumulate_flows=False,
+        track_congestion=True,
+        batch_oracle=False,
+        oracle_factory=lambda s: MinimumOverlayTreeOracle(s, routing),
+    )
+    assert engine.step() is None  # drained: idle, not terminal
+    policy.feed(Session((0, 4), demand=1.0, name="late"))
+    action = engine.step()
+    assert action is not None and action.tree.size == 2
+    assert engine.steps == 1
+
+
+class TestBatchedOracleFront:
+    def test_batched_rounds_bit_identical_to_loop(
+        self, waxman_network, equivalence_sessions
+    ):
+        solutions = []
+        for batch_oracle in (True, False):
+            solver = MaxFlow(
+                equivalence_sessions,
+                FixedIPRouting(waxman_network),
+                MaxFlowConfig(epsilon=0.15, batch_oracle=batch_oracle),
+            )
+            solutions.append(solver.solve())
+        batched, looped = solutions
+        assert fingerprint(batched) == fingerprint(looped)
+        assert batched.instrumentation["batched_rounds"] > 0
+        assert batched.instrumentation["per_session_rounds"] == 0
+        assert looped.instrumentation["batched_rounds"] == 0
+        assert looped.instrumentation["per_session_rounds"] > 0
+
+    def test_stacked_matvec_matches_per_oracle_products(
+        self, waxman_network, equivalence_sessions
+    ):
+        routing = FixedIPRouting(waxman_network)
+        oracles = build_oracles(equivalence_sessions, routing)
+        front = BatchedOracleFront(oracles)
+        assert front.batched
+        lengths = np.random.default_rng(3).uniform(0.01, 5.0, waxman_network.num_edges)
+        batched = front.query(range(len(oracles)), lengths)
+        for (index, result), oracle in zip(batched, oracles):
+            direct = oracle.minimum_tree(lengths)
+            assert result.tree == direct.tree
+            assert result.length == direct.length
+
+    def test_dynamic_routing_falls_back(self, waxman_network, equivalence_sessions):
+        oracles = build_oracles(
+            equivalence_sessions, DynamicRouting(waxman_network)
+        )
+        front = BatchedOracleFront(oracles)
+        assert not front.batched
+        lengths = np.ones(waxman_network.num_edges)
+        results = front.query(range(len(oracles)), lengths)
+        assert [index for index, _ in results] == [0, 1]
+        for (_, result), session in zip(results, equivalence_sessions):
+            assert result.tree.size == session.size

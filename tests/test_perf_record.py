@@ -61,8 +61,20 @@ def test_write_core_perf_record_tiny(tmp_path):
     assert length_multiply["batched_seconds"] > 0
     assert length_multiply["batched_updates_per_sec"] > 0
     assert length_multiply["batched_speedup"] > 0
+
+    # Oracle-batching ablation: one BatchedOracleFront round (stacked
+    # incidence mat-vec, all sessions) versus the per-oracle query loop.
+    oracle_batch = record["oracle_batch"]
+    assert oracle_batch["rounds"] > 0
+    assert oracle_batch["sessions"] > 1
+    assert oracle_batch["batched_seconds"] > 0
+    assert oracle_batch["loop_seconds"] > 0
+    assert oracle_batch["batched_rounds_per_sec"] > 0
+    assert oracle_batch["batched_speedup"] > 0
+
     latest = record["history"][-1]
     assert latest["multiply_batched_speedup"] == length_multiply["batched_speedup"]
+    assert latest["oracle_batch_speedup"] == oracle_batch["batched_speedup"]
 
 
 def test_record_appends_history(tmp_path):
