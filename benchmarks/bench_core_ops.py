@@ -133,6 +133,40 @@ def test_oracle_batch_ablation(run_once, benchmark):
     assert result["batched_speedup"] > 0
 
 
+def test_dynamic_oracle_fastpath_ablation(run_once, benchmark):
+    """Ablation: one-Dijkstra dynamic oracle + union front vs the legacy loop.
+
+    The fast arm is dynamic-routing MaxFlow with the retained-query
+    oracle and the union-Dijkstra front (the defaults); the legacy arm
+    re-solves the same instance with ``configure_dynamic_fastpath``
+    off — the pre-change multi-Dijkstra pipeline.  Outputs are
+    bit-identical (tests/test_dynamic_fastpath.py); this records the
+    throughput gap for the BENCH trajectory.
+    """
+    benchmark.group = "oracle-dynamic"
+    from repro.perf.record import _timed_dynamic_oracle
+
+    result = run_once(_timed_dynamic_oracle, QUICK_PROFILE)
+    assert result["outputs_identical"]
+    assert result["calls_per_sec"] > 0
+    assert result["legacy_calls_per_sec"] > 0
+    assert result["front"]["batched_speedup"] > 0
+
+
+def test_prim_crossover_sweep(run_once, benchmark):
+    """Measure the python-vs-numpy Prim crossover behind _PYTHON_PRIM_LIMIT."""
+    benchmark.group = "mst"
+    from repro.perf.record import _timed_prim_crossover
+
+    result = run_once(_timed_prim_crossover, QUICK_PROFILE)
+    assert len(result["sizes"]) == len(QUICK_PROFILE.prim_sizes)
+    assert all(t > 0 for t in result["python_us_per_call"])
+    assert all(t > 0 for t in result["numpy_us_per_call"])
+    # Python must win at the smallest size (the reason the split exists);
+    # the crossover itself lands in BENCH_core.json.
+    assert result["python_us_per_call"][0] < result["numpy_us_per_call"][0]
+
+
 def test_emit_bench_core_record(run_once):
     """Write the repo-root BENCH_core.json perf record (quick scale).
 
@@ -155,3 +189,6 @@ def test_emit_bench_core_record(run_once):
     assert record["maxflow_dynamic"]["memoized"]["oracle_calls"] > 0
     assert record["length_multiply"]["batched_speedup"] > 0
     assert record["oracle_batch"]["batched_speedup"] > 0
+    assert record["dynamic_oracle"]["outputs_identical"]
+    assert record["dynamic_oracle"]["calls_per_sec"] > 0
+    assert record["prim_crossover"]["configured_limit"] > 0

@@ -19,8 +19,10 @@ strategies:
   :class:`RunToExhaustion`).
 * :class:`BatchedOracleFront` — evaluates *all* sessions' overlay tree
   queries for an iteration in one vectorised pass over the shared
-  length array (stacked sparse incidence mat-vec under fixed routing),
-  bit-identical to the per-session loop it replaces.
+  length array (stacked sparse incidence mat-vec under fixed routing;
+  one union-of-members Dijkstra with shared distance/predecessor rows
+  under dynamic routing), bit-identical to the per-session loop it
+  replaces.
 * :class:`Instrumentation` — per-step events (oracle calls, phase
   boundaries, congestion snapshots) and counters, replacing the ad-hoc
   counters solvers used to hand-maintain; its :meth:`snapshot` rides on

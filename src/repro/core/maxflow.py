@@ -55,7 +55,8 @@ class MaxFlowConfig:
     batch_oracle:
         Serve each iteration's all-session oracle scan through the
         engine's :class:`~repro.core.engine.BatchedOracleFront` (one
-        stacked incidence mat-vec under fixed routing).  ``None`` =
+        stacked incidence mat-vec under fixed routing; one
+        union-of-members Dijkstra under dynamic routing).  ``None`` =
         default, on.  Purely a performance switch; results are
         bit-identical either way.
     """

@@ -27,7 +27,11 @@ import numpy as np
 from repro.util.errors import InvalidSessionError
 
 # Below this size the plain-Python scan beats NumPy's per-call overhead.
-_PYTHON_PRIM_LIMIT = 128
+# Bench-retuned via the ``prim_crossover`` section of BENCH_core.json
+# (``repro.perf.record._timed_prim_crossover``): python wins up to ~64
+# rows (0.6x numpy's time at 64), the two arms cross in the flat 96-128
+# band, and numpy pulls away above (~1.8x faster at 192).
+_PYTHON_PRIM_LIMIT = 96
 
 
 def _prim_python(w: np.ndarray, n: int) -> List[Tuple[int, int]]:

@@ -10,9 +10,16 @@ question:
 Under fixed IP routing the overlay edge lengths are linear in ``d_e``
 through a fixed pair-by-edge incidence matrix, so evaluating them is a
 single sparse mat-vec.  Under arbitrary (dynamic) routing, the overlay
-edge between two members is the *shortest* path under ``d_e``, so every
-oracle call runs Dijkstra from each member and reconstructs only the
-``|S| - 1`` paths that end up in the tree (Section V-B of the paper).
+edge between two members is the *shortest* path under ``d_e``
+(Section V-B of the paper): the oracle runs **one** multi-source
+Dijkstra from the members, keeps its distance *and* predecessor rows
+(:class:`~repro.routing.shortest_path.ShortestPathQuery`), weights the
+overlay MST from the distances, and reconstructs only the ``|S| - 1``
+chosen paths from the same predecessor rows.  The pre-fast-path
+pipeline — a distances-only run followed by a fresh single-source
+Dijkstra per tree source — is kept behind
+:func:`configure_dynamic_fastpath` as the ablation baseline; both
+produce bit-identical trees (same rows, same paths).
 
 The oracle also counts its own invocations; the paper's Tables II and IV
 report running time as "number of MST operations", and we reproduce that
@@ -64,6 +71,7 @@ class OracleResult:
 
 
 _MEMOIZE_TREES_DEFAULT = True
+_DYNAMIC_FASTPATH_DEFAULT = True
 
 
 def configure_tree_memoization(enabled: bool) -> bool:
@@ -86,6 +94,33 @@ def tree_memoization_default() -> bool:
     return _MEMOIZE_TREES_DEFAULT
 
 
+def configure_dynamic_fastpath(enabled: bool) -> bool:
+    """Set the process-wide default for the one-Dijkstra dynamic oracle.
+
+    Returns the previous default.  Oracles resolve the default at
+    construction time; existing oracles are unaffected.  ``False``
+    restores the pre-change pipeline (a distances-only multi-source
+    Dijkstra, then a fresh single-source Dijkstra per tree source) —
+    kept purely as the equivalence-test reference and perf-ablation
+    baseline; results are bit-identical either way.
+
+    The default is process-wide only: it does not propagate to pool
+    workers (``prescale_jobs``, ``solve_many``, cluster workers), which
+    re-import with the fast path on.  Ablation runs should stay
+    in-process serial, or pass ``dynamic_fastpath`` explicitly through
+    :func:`build_oracles`.
+    """
+    global _DYNAMIC_FASTPATH_DEFAULT
+    previous = _DYNAMIC_FASTPATH_DEFAULT
+    _DYNAMIC_FASTPATH_DEFAULT = bool(enabled)
+    return previous
+
+
+def dynamic_fastpath_default() -> bool:
+    """Current process-wide default for the one-Dijkstra dynamic oracle."""
+    return _DYNAMIC_FASTPATH_DEFAULT
+
+
 class MinimumOverlayTreeOracle:
     """Minimum overlay spanning tree computation for one session.
 
@@ -100,6 +135,11 @@ class MinimumOverlayTreeOracle:
         Cache constructed trees keyed by their defining data (overlay
         index pairs, plus path node sequences under dynamic routing).
         ``None`` uses the process-wide default (on).
+    dynamic_fastpath:
+        Serve dynamic-routing calls with one retained Dijkstra
+        (:meth:`minimum_tree_from_query`) instead of the pre-change
+        multi-Dijkstra loop.  ``None`` uses the process-wide default
+        (on).  Purely a performance switch; results are bit-identical.
     """
 
     def __init__(
@@ -107,6 +147,7 @@ class MinimumOverlayTreeOracle:
         session: Session,
         routing: RoutingModel,
         memoize: Optional[bool] = None,
+        dynamic_fastpath: Optional[bool] = None,
     ) -> None:
         session.validate_against(routing.network)
         self._session = session
@@ -115,6 +156,11 @@ class MinimumOverlayTreeOracle:
         self._members = list(session.members)
         self._call_count = 0
         self._memoize = _MEMOIZE_TREES_DEFAULT if memoize is None else bool(memoize)
+        self._dynamic_fastpath = (
+            _DYNAMIC_FASTPATH_DEFAULT
+            if dynamic_fastpath is None
+            else bool(dynamic_fastpath)
+        )
         self._tree_cache: Dict[Tuple, OverlayTree] = {}
         self._cache_hits = 0
         self._cache_misses = 0
@@ -203,6 +249,20 @@ class MinimumOverlayTreeOracle:
         return self._fixed
 
     @property
+    def dynamic_fastpath(self) -> bool:
+        """Whether dynamic calls use the one-Dijkstra retained query."""
+        return self._dynamic_fastpath
+
+    @property
+    def members(self) -> List[int]:
+        """The session's members, in oracle (session) order.
+
+        The dynamic batched front unions these across oracles to run one
+        shared Dijkstra per all-session query round.
+        """
+        return list(self._members)
+
+    @property
     def incidence(self):
         """The sparse pair-by-edge incidence matrix (fixed routing only).
 
@@ -225,8 +285,10 @@ class MinimumOverlayTreeOracle:
         if self._fixed:
             usage = np.asarray(self._incidence.sum(axis=0)).ravel()
             return np.flatnonzero(usage > 0)
-        # For dynamic routing use hop-metric routes as the session footprint.
-        return DynamicRouting(self._network).covered_edges(self._members)
+        # For dynamic routing use hop-metric routes as the session
+        # footprint, served by the oracle's own routing model (the model
+        # is stateless per call, so reuse is free and construction-free).
+        return self._routing.covered_edges(self._members)
 
     # ------------------------------------------------------------------
     # the oracle
@@ -243,6 +305,16 @@ class MinimumOverlayTreeOracle:
         if self._fixed:
             return self.minimum_tree_precomputed(self._incidence @ lengths, lengths)
 
+        if self._dynamic_fastpath:
+            # One Dijkstra: the retained query serves both the MST
+            # weights and the chosen tree's path reconstructions.
+            return self.minimum_tree_from_query(
+                self._routing.query(members, lengths), lengths
+            )
+
+        # Pre-fast-path pipeline (ablation baseline): a distances-only
+        # multi-source run, then a fresh single-source Dijkstra per tree
+        # source inside paths_for_pairs.
         self._call_count += 1
         weight = self._routing.pair_lengths(members, lengths)
         tree_index_pairs = minimum_spanning_tree_pairs(weight, validate=False)
@@ -250,6 +322,40 @@ class MinimumOverlayTreeOracle:
             pair_key(members[i], members[j]) for i, j in tree_index_pairs
         ]
         paths = self._routing.paths_for_pairs(overlay_edges, lengths)
+        return self._dynamic_result(overlay_edges, paths, lengths)
+
+    def minimum_tree_from_query(
+        self, query, edge_lengths: np.ndarray
+    ) -> OracleResult:
+        """Dynamic-routing oracle served from a retained Dijkstra query.
+
+        ``query`` is a
+        :class:`~repro.routing.shortest_path.ShortestPathQuery` whose
+        sources include every session member — either this oracle's own
+        per-call run or the batched front's shared union run.  Distances
+        weight the overlay MST; the chosen tree's paths are rebuilt from
+        the same predecessor rows, so outputs are bit-identical to the
+        multi-Dijkstra pipeline (scipy computes source rows
+        independently).  Counts as one MST operation, exactly like
+        :meth:`minimum_tree`.
+        """
+        if self._fixed:
+            raise ConfigurationError(
+                "retained Dijkstra queries apply to dynamic routing only"
+            )
+        self._call_count += 1
+        members = self._members
+        lengths = np.asarray(edge_lengths, dtype=float)
+        weight = self._routing.pair_lengths_from_query(query, members)
+        tree_index_pairs = minimum_spanning_tree_pairs(weight, validate=False)
+        overlay_edges = [
+            pair_key(members[i], members[j]) for i, j in tree_index_pairs
+        ]
+        paths = query.paths_for_pairs(overlay_edges)
+        return self._dynamic_result(overlay_edges, paths, lengths)
+
+    def _dynamic_result(self, overlay_edges, paths, lengths) -> OracleResult:
+        """Shared tail of both dynamic branches: memoize key + build."""
         # Under dynamic routing the overlay edges alone do not pin down
         # the physical realisation — include the path node sequences in
         # the key.  Sorted, so the key is independent of Prim's
@@ -262,7 +368,7 @@ class MinimumOverlayTreeOracle:
         tree = self._cached_tree(
             key,
             lambda: OverlayTree.from_paths(
-                members, overlay_edges, paths, self._network.num_edges
+                self._members, overlay_edges, paths, self._network.num_edges
             ),
         )
         return OracleResult(tree=tree, length=tree.length(lengths))
@@ -342,9 +448,15 @@ def build_oracles(
     sessions: Sequence[Session],
     routing: RoutingModel,
     memoize: Optional[bool] = None,
+    dynamic_fastpath: Optional[bool] = None,
 ) -> List[MinimumOverlayTreeOracle]:
     """Construct one oracle per session over a shared routing model."""
-    return [MinimumOverlayTreeOracle(s, routing, memoize=memoize) for s in sessions]
+    return [
+        MinimumOverlayTreeOracle(
+            s, routing, memoize=memoize, dynamic_fastpath=dynamic_fastpath
+        )
+        for s in sessions
+    ]
 
 
 def total_oracle_calls(oracles: Sequence[MinimumOverlayTreeOracle]) -> int:

@@ -22,7 +22,16 @@ from one PR to the next:
   :class:`~repro.core.engine.BatchedOracleFront` round (a stacked
   incidence mat-vec answering every session's tree query at once — the
   engine's per-iteration all-session scan) versus the per-oracle query
-  loop it replaces.
+  loop it replaces,
+* the **dynamic oracle fast path**: MaxFlow under dynamic routing with
+  the one-Dijkstra retained-query oracle and the union-Dijkstra front
+  (the default) versus the pre-change multi-Dijkstra pipeline
+  (``configure_dynamic_fastpath(False)``), plus a front-level ablation
+  (one union-of-members Dijkstra per all-session round versus one
+  Dijkstra per oracle),
+* the **Prim crossover**: plain-Python versus vectorised-NumPy Prim at
+  several member counts, locating the measured crossover that sets
+  ``repro.overlay.mst._PYTHON_PRIM_LIMIT``.
 
 The record is a *trajectory*, not a snapshot: every run appends a
 compact entry to the ``history`` list (the latest run's full sections
@@ -56,8 +65,14 @@ from repro.util.errors import ConfigurationError
 from repro.util.rng import ensure_rng
 from repro.util.serialization import dump_json
 
-BENCH_SCHEMA = "BENCH_core/v4"
-_KNOWN_SCHEMAS = ("BENCH_core/v1", "BENCH_core/v2", "BENCH_core/v3", BENCH_SCHEMA)
+BENCH_SCHEMA = "BENCH_core/v5"
+_KNOWN_SCHEMAS = (
+    "BENCH_core/v1",
+    "BENCH_core/v2",
+    "BENCH_core/v3",
+    "BENCH_core/v4",
+    BENCH_SCHEMA,
+)
 
 
 @dataclass(frozen=True)
@@ -88,6 +103,14 @@ class PerfProfile:
     batch_nodes: int = 200
     batch_sessions: Tuple[int, ...] = (8, 6, 7, 8, 6, 7, 8, 6)
     batch_rounds: int = 300
+    # The dynamic-front ablation reuses the batch instance under dynamic
+    # routing; Dijkstra rounds cost more than mat-vecs, so it times
+    # fewer of them.
+    dynamic_front_rounds: int = 120
+    # The Prim-crossover sweep: member counts to time both variants at
+    # (the per-size repetition count is derived from the size).
+    prim_sizes: Tuple[int, ...] = (8, 16, 32, 64, 96, 128, 192)
+    prim_reps: int = 2000
     seed: int = 2004
 
 
@@ -106,6 +129,9 @@ TINY_PROFILE = PerfProfile(
     batch_nodes=80,
     batch_sessions=(5, 4, 5, 4),
     batch_rounds=40,
+    dynamic_front_rounds=20,
+    prim_sizes=(8, 32, 96),
+    prim_reps=200,
 )
 QUICK_PROFILE = PerfProfile(
     name="quick",
@@ -339,6 +365,157 @@ def _timed_oracle_batch(profile: PerfProfile) -> Dict[str, float]:
     }
 
 
+def _timed_dynamic_front(profile: PerfProfile) -> Dict[str, float]:
+    """Ablation: one union-Dijkstra front round vs the per-oracle loop.
+
+    Both arms answer the same all-session query round under dynamic
+    routing with the one-Dijkstra oracle fast path on.  The batched arm
+    runs a single Dijkstra from the union of every session's members per
+    round (:class:`repro.core.engine.BatchedOracleFront`, dynamic mode)
+    and hands each oracle its distance/predecessor rows; the loop arm
+    runs one Dijkstra per oracle.  Results are bit-identical (engine
+    equivalence suite); here we only time.
+    """
+    from repro.core.engine import BatchedOracleFront
+    from repro.overlay.oracle import build_oracles
+
+    network = paper_flat_topology(
+        num_nodes=profile.batch_nodes, capacity=100.0, seed=profile.seed
+    )
+    rng = ensure_rng(profile.seed + 4)
+    sessions = [
+        random_session(network, size, demand=100.0, seed=rng, name=f"dyn-{i + 1}")
+        for i, size in enumerate(profile.batch_sessions)
+    ]
+    # Separate routing models per arm: the path-by-nodes cache and the
+    # tree caches must not leak across arms.
+    batched_oracles = build_oracles(sessions, DynamicRouting(network))
+    loop_oracles = build_oracles(sessions, DynamicRouting(network))
+    front = BatchedOracleFront(batched_oracles)
+    indices = list(range(len(sessions)))
+    pool = [
+        ensure_rng(profile.seed + 5 + i).uniform(0.1, 1.0, network.num_edges)
+        for i in range(8)
+    ]
+
+    front.query(indices, pool[0])
+    for oracle in loop_oracles:
+        oracle.minimum_tree(pool[0])
+
+    rounds = profile.dynamic_front_rounds
+    start = time.perf_counter()
+    for r in range(rounds):
+        front.query(indices, pool[r % len(pool)])
+    batched_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for r in range(rounds):
+        lengths = pool[r % len(pool)]
+        for oracle in loop_oracles:
+            oracle.minimum_tree(lengths)
+    loop_seconds = time.perf_counter() - start
+
+    return {
+        "rounds": float(rounds),
+        "sessions": float(len(sessions)),
+        "num_edges": float(network.num_edges),
+        "batched_seconds": batched_seconds,
+        "loop_seconds": loop_seconds,
+        "batched_rounds_per_sec": rounds / batched_seconds if batched_seconds > 0 else 0.0,
+        "loop_rounds_per_sec": rounds / loop_seconds if loop_seconds > 0 else 0.0,
+        "batched_speedup": loop_seconds / batched_seconds if batched_seconds > 0 else 0.0,
+    }
+
+
+def _timed_dynamic_oracle(profile: PerfProfile) -> Dict[str, object]:
+    """The dynamic-routing oracle fast path versus the pre-change loop.
+
+    The headline ``calls_per_sec`` is MaxFlow-under-dynamic-routing
+    oracle throughput with the fast path and the union-Dijkstra front on
+    (the defaults) — directly comparable to the ``dynamic_calls_per_sec``
+    trajectory entries recorded before this section existed.  The legacy
+    arm re-solves the same instance with
+    :func:`~repro.overlay.oracle.configure_dynamic_fastpath` off, which
+    also disables the dynamic front (an oracle on the legacy pipeline is
+    an ablation baseline the front refuses to accelerate).  Outputs are
+    bit-identical (equivalence suite); the ``front`` sub-section is the
+    union-Dijkstra round ablation on a many-session instance.
+    """
+    from repro.overlay.oracle import configure_dynamic_fastpath
+
+    network, sessions = build_perf_instance(profile)
+    fast = _timed_maxflow(
+        network, sessions, "dynamic", profile.dynamic_ratio, memoize=True
+    )
+    previous = configure_dynamic_fastpath(False)
+    try:
+        legacy = _timed_maxflow(
+            network, sessions, "dynamic", profile.dynamic_ratio, memoize=True
+        )
+    finally:
+        configure_dynamic_fastpath(previous)
+    return {
+        "calls_per_sec": fast["calls_per_sec"],
+        "seconds": fast["seconds"],
+        "oracle_calls": fast["oracle_calls"],
+        "legacy_calls_per_sec": legacy["calls_per_sec"],
+        "legacy_seconds": legacy["seconds"],
+        "fastpath_speedup": (
+            legacy["seconds"] / fast["seconds"] if fast["seconds"] > 0 else 0.0
+        ),
+        "outputs_identical": bool(
+            fast["overall_throughput"] == legacy["overall_throughput"]
+            and fast["oracle_calls"] == legacy["oracle_calls"]
+        ),
+        "front": _timed_dynamic_front(profile),
+    }
+
+
+def _timed_prim_crossover(profile: PerfProfile) -> Dict[str, object]:
+    """Python-vs-NumPy Prim at several member counts.
+
+    Locates the measured crossover backing
+    ``repro.overlay.mst._PYTHON_PRIM_LIMIT``: below it the plain-Python
+    scan beats NumPy's per-call overhead, above it the vectorised
+    variant wins.  Both variants produce identical trees (identical
+    tie-breaking), so the limit is purely a performance knob.
+    """
+    from repro.overlay.mst import _PYTHON_PRIM_LIMIT, _prim_numpy, _prim_python
+
+    rng = ensure_rng(profile.seed + 6)
+    sizes: List[float] = []
+    python_us: List[float] = []
+    numpy_us: List[float] = []
+    crossover = 0.0
+    for n in profile.prim_sizes:
+        w = rng.uniform(0.1, 1.0, (n, n))
+        w = np.maximum(w, w.T)
+        np.fill_diagonal(w, 0.0)
+        reps = max(3, profile.prim_reps // n)
+        start = time.perf_counter()
+        for _ in range(reps):
+            _prim_python(w, n)
+        python_seconds = (time.perf_counter() - start) / reps
+        start = time.perf_counter()
+        for _ in range(reps):
+            _prim_numpy(w, n)
+        numpy_seconds = (time.perf_counter() - start) / reps
+        sizes.append(float(n))
+        python_us.append(python_seconds * 1e6)
+        numpy_us.append(numpy_seconds * 1e6)
+        if crossover == 0.0 and numpy_seconds < python_seconds:
+            crossover = float(n)
+    return {
+        "sizes": sizes,
+        "python_us_per_call": python_us,
+        "numpy_us_per_call": numpy_us,
+        # First measured size where numpy won; 0.0 when python won
+        # everywhere in the sweep (the limit then sits above the sweep).
+        "measured_crossover": crossover,
+        "configured_limit": float(_PYTHON_PRIM_LIMIT),
+    }
+
+
 def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
     """Measure the oracle hot path and return one run's BENCH_core record."""
     profile = profile_for_scale(scale)
@@ -360,6 +537,8 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
     tree_length = _timed_tree_length(profile)
     length_multiply = _timed_multiply_batch(profile)
     oracle_batch = _timed_oracle_batch(profile)
+    dynamic_oracle = _timed_dynamic_oracle(profile)
+    prim_crossover = _timed_prim_crossover(profile)
 
     speedup = (
         fixed_unmemoized["seconds"] / fixed_memoized["seconds"]
@@ -389,6 +568,8 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
         "tree_length": tree_length,
         "length_multiply": length_multiply,
         "oracle_batch": oracle_batch,
+        "dynamic_oracle": dynamic_oracle,
+        "prim_crossover": prim_crossover,
     }
 
 
@@ -423,6 +604,16 @@ def _history_entry(record: Dict[str, object]) -> Dict[str, object]:
             "batched_rounds_per_sec"
         )
         entry["oracle_batch_speedup"] = oracle_batch.get("batched_speedup")
+    dynamic_oracle = record.get("dynamic_oracle", {})
+    if dynamic_oracle:
+        entry["dynamic_oracle_calls_per_sec"] = dynamic_oracle.get("calls_per_sec")
+        entry["dynamic_oracle_speedup"] = dynamic_oracle.get("fastpath_speedup")
+        entry["dynamic_front_speedup"] = dynamic_oracle.get("front", {}).get(
+            "batched_speedup"
+        )
+    prim = record.get("prim_crossover", {})
+    if prim:
+        entry["prim_crossover"] = prim.get("measured_crossover")
     return entry
 
 

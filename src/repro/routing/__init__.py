@@ -18,6 +18,7 @@ is how the paper quantifies the impact of IP routing.
 
 from repro.routing.paths import UnicastPath
 from repro.routing.shortest_path import (
+    ShortestPathQuery,
     shortest_path_tree,
     reconstruct_path,
     pairwise_distances,
@@ -29,6 +30,7 @@ from repro.routing.dynamic import DynamicRouting
 
 __all__ = [
     "UnicastPath",
+    "ShortestPathQuery",
     "shortest_path_tree",
     "reconstruct_path",
     "pairwise_distances",

@@ -6,6 +6,15 @@ redefined so that each tree link may use *any* unicast path, and the
 algorithms pick, at every oracle invocation, the shortest path under the
 current exponential length function.  This class implements exactly that:
 every call recomputes shortest paths with the supplied per-edge lengths.
+
+Two call shapes are offered.  The classic :meth:`pair_lengths` /
+:meth:`paths_for_pairs` pair recomputes Dijkstra per call (the
+pre-fast-path pipeline, kept as the ablation baseline and for ad-hoc
+callers).  The session-query shape — :meth:`query` returning a
+:class:`~repro.routing.shortest_path.ShortestPathQuery` — runs *one*
+Dijkstra and retains both distances and predecessors, so an oracle call
+derives its MST weights and reconstructs the chosen tree's paths from
+the same run (bit-identical rows, hence bit-identical paths).
 """
 
 from __future__ import annotations
@@ -16,7 +25,11 @@ import numpy as np
 
 from repro.routing.base import PairKey, RoutingModel, pair_key
 from repro.routing.paths import UnicastPath
-from repro.routing.shortest_path import reconstruct_path, shortest_path_tree
+from repro.routing.shortest_path import (
+    ShortestPathQuery,
+    reconstruct_path,
+    shortest_path_tree,
+)
 from repro.topology.network import PhysicalNetwork
 from repro.util.errors import InfeasibleProblemError
 
@@ -26,6 +39,15 @@ class DynamicRouting(RoutingModel):
 
     def __init__(self, network: PhysicalNetwork) -> None:
         super().__init__(network)
+        # Cross-query UnicastPath cache keyed by node sequence (shared
+        # with every ShortestPathQuery this model issues).  The sequence
+        # fully determines the path — edge ids included — and paths are
+        # immutable, so cache hits are bit-identical to fresh builds.
+        # Unbounded, like the oracle's tree memoization and for the same
+        # reason: runs concentrate on a handful of distinct paths, so
+        # the population is bounded by distinct shortest paths actually
+        # chosen, not by iteration count.
+        self._paths_by_nodes: Dict[tuple, UnicastPath] = {}
 
     @property
     def is_dynamic(self) -> bool:
@@ -80,6 +102,38 @@ class DynamicRouting(RoutingModel):
             if u == v:
                 out[(u, v)] = UnicastPath(nodes=(u,), edge_ids=np.empty(0, dtype=np.int64))
         return out
+
+    def query(
+        self,
+        sources: Sequence[int],
+        edge_lengths: Optional[np.ndarray] = None,
+    ) -> ShortestPathQuery:
+        """One retained Dijkstra from ``sources`` under ``edge_lengths``.
+
+        The returned query answers both the member-pair distances and the
+        path reconstructions of a dynamic oracle call, so the whole call
+        costs exactly one Dijkstra invocation and zero extra CSR builds.
+        """
+        return ShortestPathQuery.run(
+            self._network, sources, edge_lengths, path_cache=self._paths_by_nodes
+        )
+
+    def pair_lengths_from_query(
+        self, query: ShortestPathQuery, members: Sequence[int]
+    ) -> np.ndarray:
+        """:meth:`pair_lengths` served from a retained query.
+
+        Bit-identical to :meth:`pair_lengths` under the same lengths:
+        scipy computes each Dijkstra source row independently, so the
+        retained rows equal the rows a fresh run over ``members`` would
+        produce, and the same elementwise-max symmetrisation is applied.
+        """
+        members = [int(m) for m in members]
+        n = len(members)
+        if n < 2:
+            return np.zeros((n, n), dtype=float)
+        sub = query.distance_submatrix(members)
+        return np.maximum(sub, sub.T)
 
     def covered_edges(
         self, members: Sequence[int], edge_lengths: Optional[np.ndarray] = None

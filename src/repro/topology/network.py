@@ -238,32 +238,94 @@ class PhysicalNetwork:
     # ------------------------------------------------------------------
     # conversions and derived structures
     # ------------------------------------------------------------------
+    def _csr_structure(self):
+        """Cached CSR adjacency *structure*: ``(indptr, indices, perm)``.
+
+        The sparsity pattern of the weighted adjacency matrix depends only
+        on the (immutable) edge set, so the expensive part of the old
+        per-call ``coo_matrix(...).tocsr()`` conversion — the row/column
+        sort — is paid exactly once.  ``perm`` maps each CSR data slot to
+        the edge index whose weight it holds, so re-weighting the matrix
+        is a single fancy-index gather into ``.data``.
+        """
+        cached = getattr(self, "_csr_cache", None)
+        if cached is not None:
+            return cached
+        from scipy.sparse import coo_matrix
+
+        u = self._edge_endpoints[:, 0]
+        v = self._edge_endpoints[:, 1]
+        rows = np.concatenate([u, v])
+        cols = np.concatenate([v, u])
+        # Seed the conversion with each entry's COO position: the graph is
+        # simple (no duplicates to sum), so after ``tocsr`` the data array
+        # holds the position permutation, and position ``p`` carries the
+        # weight of edge ``p % num_edges`` (data was ``[w, w]`` stacked).
+        positions = np.arange(rows.shape[0], dtype=np.int64)
+        template = coo_matrix(
+            (positions, (rows, cols)), shape=(self._num_nodes, self._num_nodes)
+        ).tocsr()
+        perm = template.data % self.num_edges
+        self._csr_cache = (template.indptr, template.indices, perm)
+        return self._csr_cache
+
+    def _csr_weights(self, weights: Optional[np.ndarray]) -> np.ndarray:
+        """Validated per-edge weight vector (all-ones for ``None``)."""
+        if weights is None:
+            return np.ones(self.num_edges, dtype=float)
+        w = np.asarray(weights, dtype=float)
+        if w.shape != (self.num_edges,):
+            raise InvalidNetworkError(
+                f"weights must have shape ({self.num_edges},), got {w.shape}"
+            )
+        return w
+
     def adjacency_matrix(self, weights: Optional[np.ndarray] = None):
         """Sparse symmetric adjacency matrix (CSR).
+
+        Built from the cached structure (:meth:`_csr_structure`), so only
+        the data array is computed per call; the result is bit-identical
+        to a from-scratch ``coo_matrix(...).tocsr()`` conversion.  Each
+        call returns a fresh matrix with its own index arrays — callers
+        may mutate it freely.
 
         Parameters
         ----------
         weights:
             Optional per-edge weights; defaults to all-ones (hop metric).
         """
-        from scipy.sparse import coo_matrix
+        from scipy.sparse import csr_matrix
 
-        if weights is None:
-            w = np.ones(self.num_edges, dtype=float)
+        w = self._csr_weights(weights)
+        indptr, indices, perm = self._csr_structure()
+        return csr_matrix(
+            (w[perm], indices.copy(), indptr.copy()),
+            shape=(self._num_nodes, self._num_nodes),
+        )
+
+    def csr_adjacency_inplace(self, weights: Optional[np.ndarray] = None):
+        """Shared scratch CSR adjacency, re-weighted in place (hot path).
+
+        Returns the same matrix object on every call with its ``.data``
+        refreshed from ``weights`` — zero allocations beyond the first
+        call, no conversion, no sort.  The matrix is *invalidated by the
+        next call*: callers must consume it immediately (the Dijkstra
+        wrappers do) and never hand it out or mutate its structure.
+        """
+        from scipy.sparse import csr_matrix
+
+        w = self._csr_weights(weights)
+        indptr, indices, perm = self._csr_structure()
+        scratch = getattr(self, "_csr_scratch", None)
+        if scratch is None:
+            scratch = csr_matrix(
+                (w[perm], indices, indptr),
+                shape=(self._num_nodes, self._num_nodes),
+            )
+            self._csr_scratch = scratch
         else:
-            w = np.asarray(weights, dtype=float)
-            if w.shape != (self.num_edges,):
-                raise InvalidNetworkError(
-                    f"weights must have shape ({self.num_edges},), got {w.shape}"
-                )
-        u = self._edge_endpoints[:, 0]
-        v = self._edge_endpoints[:, 1]
-        rows = np.concatenate([u, v])
-        cols = np.concatenate([v, u])
-        data = np.concatenate([w, w])
-        return coo_matrix(
-            (data, (rows, cols)), shape=(self._num_nodes, self._num_nodes)
-        ).tocsr()
+            np.take(w, perm, out=scratch.data)
+        return scratch
 
     def to_networkx(self):
         """Convert to a :class:`networkx.Graph` with ``capacity`` attributes."""

@@ -414,14 +414,44 @@ class TestBatchedOracleFront:
             assert result.tree == direct.tree
             assert result.length == direct.length
 
-    def test_dynamic_routing_falls_back(self, waxman_network, equivalence_sessions):
-        oracles = build_oracles(
-            equivalence_sessions, DynamicRouting(waxman_network)
-        )
+    def test_dynamic_routing_is_batched_and_bit_identical(
+        self, waxman_network, equivalence_sessions
+    ):
+        # One union-of-members Dijkstra serves the whole round; results
+        # must equal each oracle's own minimum_tree exactly.
+        routing = DynamicRouting(waxman_network)
+        oracles = build_oracles(equivalence_sessions, routing)
         front = BatchedOracleFront(oracles)
-        assert not front.batched
-        lengths = np.ones(waxman_network.num_edges)
+        assert front.batched and front.mode == "dynamic"
+        lengths = np.random.default_rng(3).uniform(0.01, 5.0, waxman_network.num_edges)
         results = front.query(range(len(oracles)), lengths)
+        assert [index for index, _ in results] == [0, 1]
+        direct_oracles = build_oracles(equivalence_sessions, routing)
+        for (_, result), direct_oracle in zip(results, direct_oracles):
+            direct = direct_oracle.minimum_tree(lengths)
+            assert result.tree == direct.tree
+            assert result.length == direct.length
+
+    def test_front_falls_back_when_not_batchable(
+        self, waxman_network, equivalence_sessions
+    ):
+        # A legacy-pipeline oracle (ablation baseline) must not be
+        # silently accelerated by the union run...
+        legacy_oracles = build_oracles(
+            equivalence_sessions, DynamicRouting(waxman_network),
+            dynamic_fastpath=False,
+        )
+        front = BatchedOracleFront(legacy_oracles)
+        assert not front.batched and front.mode is None
+        # ...and neither can a mixed fixed/dynamic oracle set.
+        mixed = [
+            build_oracles([equivalence_sessions[0]], FixedIPRouting(waxman_network))[0],
+            build_oracles([equivalence_sessions[1]], DynamicRouting(waxman_network))[0],
+        ]
+        assert not BatchedOracleFront(mixed).batched
+        # The fallback loop still answers the round, in request order.
+        lengths = np.ones(waxman_network.num_edges)
+        results = front.query(range(len(legacy_oracles)), lengths)
         assert [index for index, _ in results] == [0, 1]
         for (_, result), session in zip(results, equivalence_sessions):
             assert result.tree.size == session.size

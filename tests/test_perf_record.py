@@ -72,9 +72,31 @@ def test_write_core_perf_record_tiny(tmp_path):
     assert oracle_batch["batched_rounds_per_sec"] > 0
     assert oracle_batch["batched_speedup"] > 0
 
+    # Dynamic-routing fast path: the one-Dijkstra oracle + union front
+    # versus the pre-change multi-Dijkstra loop, plus the front ablation.
+    dynamic_oracle = record["dynamic_oracle"]
+    assert dynamic_oracle["outputs_identical"]
+    assert dynamic_oracle["calls_per_sec"] > 0
+    assert dynamic_oracle["legacy_calls_per_sec"] > 0
+    assert dynamic_oracle["fastpath_speedup"] > 0
+    front = dynamic_oracle["front"]
+    assert front["rounds"] > 0
+    assert front["sessions"] > 1
+    assert front["batched_rounds_per_sec"] > 0
+    assert front["batched_speedup"] > 0
+
+    # Prim crossover sweep behind overlay.mst._PYTHON_PRIM_LIMIT.
+    prim = record["prim_crossover"]
+    assert len(prim["sizes"]) == len(prim["python_us_per_call"])
+    assert len(prim["sizes"]) == len(prim["numpy_us_per_call"])
+    assert prim["configured_limit"] > 0
+
     latest = record["history"][-1]
     assert latest["multiply_batched_speedup"] == length_multiply["batched_speedup"]
     assert latest["oracle_batch_speedup"] == oracle_batch["batched_speedup"]
+    assert latest["dynamic_oracle_calls_per_sec"] == dynamic_oracle["calls_per_sec"]
+    assert latest["dynamic_oracle_speedup"] == dynamic_oracle["fastpath_speedup"]
+    assert latest["prim_crossover"] == prim["measured_crossover"]
 
 
 def test_record_appends_history(tmp_path):
@@ -112,6 +134,41 @@ def test_record_migrates_v1_file(tmp_path):
     assert len(record["history"]) == 2
     assert record["history"][0]["fixed_calls_per_sec"] == 123.0
     assert record["history"][0]["schema"] == "BENCH_core/v1"
+
+
+def test_record_migrates_v4_history(tmp_path):
+    # A v4 record's accumulated trajectory survives the v5 write: the
+    # prior history entries are carried over verbatim, with the new
+    # (v5, dynamic_oracle-bearing) entry appended last.
+    path = tmp_path / "BENCH_core.json"
+    v4_history = [
+        {"schema": "BENCH_core/v3", "scale": "quick", "fixed_calls_per_sec": 9.0},
+        {
+            "schema": "BENCH_core/v4",
+            "scale": "quick",
+            "fixed_calls_per_sec": 10.0,
+            "dynamic_calls_per_sec": 780.0,
+            "oracle_batch_speedup": 1.5,
+        },
+    ]
+    v4 = {
+        "schema": "BENCH_core/v4",
+        "scale": "quick",
+        "maxflow_fixed": {"memoized": {"calls_per_sec": 10.0}},
+        "maxflow_dynamic": {"memoized": {"calls_per_sec": 780.0}},
+        "history": v4_history,
+    }
+    path.write_text(json.dumps(v4))
+    write_core_perf_record(path, scale="tiny")
+    record = json.loads(path.read_text())
+    assert record["schema"] == "BENCH_core/v5"
+    assert record["history"][:2] == v4_history
+    assert len(record["history"]) == 3
+    latest = record["history"][-1]
+    assert latest["schema"] == "BENCH_core/v5"
+    assert latest["dynamic_oracle_calls_per_sec"] == (
+        record["dynamic_oracle"]["calls_per_sec"]
+    )
 
 
 def test_corrupt_prior_record_is_ignored(tmp_path):
