@@ -112,6 +112,63 @@ def test_length_multiply_batch_ablation(run_once, benchmark):
     assert result["batched_speedup"] > 1.0
 
 
+def test_length_multiply_unique_fastpath(run_once, benchmark):
+    """Ablation: the ``assume_unique`` multiply_batch fast path.
+
+    On a duplicate-free batch (as the engine's per-step flush produces —
+    one entry per distinct tree edge), skipping the duplicate-safe
+    ``np.multiply.at`` accumulation for a direct fancy-indexed multiply
+    must win.  Bit-identical either way (tests/test_tree_ledger.py).
+    """
+    benchmark.group = "length-update"
+    from repro.perf.record import _timed_multiply_batch
+
+    result = run_once(_timed_multiply_batch, QUICK_PROFILE)
+    assert result["unique_safe_seconds"] > 0
+    assert result["unique_fast_seconds"] > 0
+    assert result["unique_fastpath_speedup"] > 1.0
+
+
+def test_tree_length_crossover_and_ledger_round(run_once, benchmark):
+    """Re-measure the dense/sparse length crossover and the ledger round.
+
+    The sweep brackets ``SPARSE_LENGTH_MIN_EDGES``; the ledger arm times
+    one :meth:`TreeLedger.lengths_for` round against the per-tree
+    ``length`` loop it replaces in stacked engine rounds (bit-identical;
+    the per-column dots keep it near parity on small footprints — the
+    end-to-end stacked win is the engine_step section).
+    """
+    benchmark.group = "tree-length"
+    from repro.perf.record import _timed_length_crossover, _timed_ledger_round
+
+    crossover = run_once(_timed_length_crossover, QUICK_PROFILE)
+    assert len(crossover["num_edges"]) == len(QUICK_PROFILE.crossover_nodes)
+    assert all(t > 0 for t in crossover["dense_us_per_eval"])
+    assert all(t > 0 for t in crossover["sparse_us_per_eval"])
+    ledger = _timed_ledger_round(QUICK_PROFILE)
+    assert ledger["trees"] == QUICK_PROFILE.ledger_trees
+    # Structural only — the measured ratio lands in BENCH_core.json.
+    assert ledger["ledger_round_speedup"] > 0
+
+
+def test_engine_step_stacked_ablation(run_once, benchmark):
+    """Ablation: full engine steps, stacked representation vs the loop.
+
+    Times complete :meth:`PhaseEngine.step` calls (oracle round, routing
+    decision, length update) with the stacked-tree defaults versus
+    ``stacked_trees=False, batch_oracle=False`` under both routings on
+    the larger engine-bench instance.  Both arms execute the identical
+    step sequence; the headline speedup lands in BENCH_core.json.
+    """
+    benchmark.group = "engine-step"
+    from repro.perf.record import _timed_engine_step
+
+    result = run_once(_timed_engine_step, QUICK_PROFILE)
+    assert result["fixed"]["outputs_identical"]
+    assert result["dynamic"]["outputs_identical"]
+    assert result["stacked_speedup"] > 0
+
+
 def test_oracle_batch_ablation(run_once, benchmark):
     """Ablation: batched all-session oracle rounds vs the per-oracle loop.
 
@@ -192,3 +249,8 @@ def test_emit_bench_core_record(run_once):
     assert record["dynamic_oracle"]["outputs_identical"]
     assert record["dynamic_oracle"]["calls_per_sec"] > 0
     assert record["prim_crossover"]["configured_limit"] > 0
+    assert record["length_multiply"]["unique_fastpath_speedup"] > 0
+    assert record["tree_length"]["ledger"]["ledger_round_speedup"] > 0
+    assert record["engine_step"]["fixed"]["outputs_identical"]
+    assert record["engine_step"]["dynamic"]["outputs_identical"]
+    assert record["engine_step"]["stacked_speedup"] > 0

@@ -94,6 +94,11 @@ def _describe_instrumentation(report: SolveReport) -> str:
         f"per-session {instr.get('per_session_oracle_seconds', 0.0):.4f}s "
         f"over {instr.get('per_session_rounds', 0)} rounds",
     ]
+    if "ledger_columns" in instr or "spmm_rounds" in instr:
+        lines.append(
+            f"  stacked ledger: {instr.get('ledger_columns', 0)} tree columns, "
+            f"{instr.get('spmm_rounds', 0)} SpMM length rounds"
+        )
     if instr.get("max_congestion", 0.0) > 0:
         lines.append(f"  max congestion seen: {instr['max_congestion']:.6g}")
     return "\n".join(lines)

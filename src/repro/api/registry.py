@@ -197,6 +197,7 @@ def solve_max_flow_instance(
     epsilon: Optional[float] = None,
     max_iterations: Optional[int] = None,
     memoize: Optional[bool] = None,
+    stacked_trees: Optional[bool] = None,
 ) -> FlowSolution:
     """MaxFlow FPTAS (paper M1 / Table I): maximise aggregate throughput."""
     config = MaxFlowConfig(
@@ -204,6 +205,7 @@ def solve_max_flow_instance(
         approximation_ratio=None if epsilon is not None else approximation_ratio,
         max_iterations=max_iterations,
         memoize=memoize,
+        stacked_trees=stacked_trees,
     )
     return MaxFlow(sessions, routing, config).solve()
 
@@ -218,6 +220,7 @@ def solve_max_concurrent_flow_instance(
     prescale_jobs: Optional[int] = None,
     max_steps: Optional[int] = None,
     memoize: Optional[bool] = None,
+    stacked_trees: Optional[bool] = None,
 ) -> FlowSolution:
     """MaxConcurrentFlow FPTAS (paper M2 / Table III): max-min fairness."""
     config = MaxConcurrentFlowConfig(
@@ -227,6 +230,7 @@ def solve_max_concurrent_flow_instance(
         prescale_jobs=prescale_jobs,
         max_steps=max_steps,
         memoize=memoize,
+        stacked_trees=stacked_trees,
     )
     return MaxConcurrentFlow(sessions, routing, config).solve()
 
@@ -239,12 +243,14 @@ def solve_online_instance(
     group_by_members: bool = True,
     apply_no_bottleneck_scaling: bool = False,
     memoize: Optional[bool] = None,
+    stacked_trees: Optional[bool] = None,
 ) -> FlowSolution:
     """Online-MinCongestion (paper Table VI): one tree per arrival, in order."""
     config = OnlineConfig(
         sigma=sigma,
         apply_no_bottleneck_scaling=apply_no_bottleneck_scaling,
         memoize=memoize,
+        stacked_trees=stacked_trees,
     )
     solver = OnlineMinCongestion(routing, config)
     solver.accept_all(sessions)
@@ -261,6 +267,7 @@ def solve_randomized_rounding_instance(
     epsilon: Optional[float] = None,
     prescale_epsilon: float = 0.1,
     memoize: Optional[bool] = None,
+    stacked_trees: Optional[bool] = None,
 ) -> FlowSolution:
     """Random-MinCongestion (paper Table V): round the fractional optimum.
 
@@ -275,6 +282,7 @@ def solve_randomized_rounding_instance(
         epsilon=epsilon,
         prescale_epsilon=prescale_epsilon,
         memoize=memoize,
+        stacked_trees=stacked_trees,
     )
     selection = RandomMinCongestion(fractional, seed=seed).select_trees(max_trees)
     return selection.solution

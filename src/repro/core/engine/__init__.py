@@ -23,6 +23,14 @@ strategies:
   one union-of-members Dijkstra with shared distance/predecessor rows
   under dynamic routing), bit-identical to the per-session loop it
   replaces.
+* :class:`TreeLedger` — the stacked-tree representation: one shared
+  growth-doubling incidence matrix holding a column per distinct
+  memoized tree across all sessions and steps (content-addressed by
+  ``OverlayTree.canonical_key``), so a round's tree lengths are one
+  ``lengths @ M`` product and flow/congestion extraction is one
+  ``M @ weights`` scatter.  On by default (``stacked_trees`` knob /
+  :func:`configure_stacked_trees`); the per-tree loop remains as the
+  bit-identical ablation baseline.
 * :class:`Instrumentation` — per-step events (oracle calls, phase
   boundaries, congestion snapshots) and counters, replacing the ad-hoc
   counters solvers used to hand-maintain; its :meth:`snapshot` rides on
@@ -37,6 +45,11 @@ pre-refactor loop (asserted in ``tests/test_engine_equivalence.py``).
 from repro.core.engine.batch import BatchedOracleFront
 from repro.core.engine.driver import EngineRun, PhaseEngine
 from repro.core.engine.instrumentation import EngineEvent, Instrumentation
+from repro.core.engine.ledger import (
+    TreeLedger,
+    configure_stacked_trees,
+    stacked_trees_default,
+)
 from repro.core.engine.strategies import (
     ConcurrentPhasePolicy,
     DualObjectiveStop,
@@ -55,6 +68,9 @@ __all__ = [
     "PhaseEngine",
     "EngineRun",
     "BatchedOracleFront",
+    "TreeLedger",
+    "configure_stacked_trees",
+    "stacked_trees_default",
     "Instrumentation",
     "EngineEvent",
     "StepPolicy",

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-ENGINE_SCHEMA = "PhaseEngine/v1"
+ENGINE_SCHEMA = "PhaseEngine/v2"
 
 
 @dataclass(frozen=True)
@@ -72,6 +72,12 @@ class Instrumentation:
         self.per_session_oracle_seconds = 0.0
         self.length_updates = 0
         self.max_congestion = 0.0
+        # Stacked-tree path (PhaseEngine/v2): distinct tree columns in
+        # the run's shared ledger (a gauge, refreshed per step) and how
+        # many query rounds evaluated their tree lengths as one
+        # lengths @ M product over those columns.
+        self.ledger_columns = 0
+        self.spmm_rounds = 0
         self._events: List[EngineEvent] = []
         self._max_events = int(max_events)
         self._dropped_events = 0
@@ -158,6 +164,8 @@ class Instrumentation:
             "batched_oracle_seconds": float(self.batched_oracle_seconds),
             "per_session_oracle_seconds": float(self.per_session_oracle_seconds),
             "length_updates": int(self.length_updates),
+            "ledger_columns": int(self.ledger_columns),
+            "spmm_rounds": int(self.spmm_rounds),
             "max_congestion": float(self.max_congestion),
             "dropped_events": int(self._dropped_events),
             "events": [event.to_jsonable() for event in self._events],

@@ -1,0 +1,322 @@
+"""The stacked tree ledger: one shared incidence matrix for every tree.
+
+A multiplicative-weights run concentrates its work on a slowly-growing
+set of distinct overlay trees (the paper's "number of trees" tables):
+thousands of MST operations return the same few dozen trees over and
+over.  Each :class:`~repro.overlay.tree.OverlayTree` carries its own
+little ``(physical_edges, usage_values)`` pair, so a query round over
+``S`` sessions performs ``S`` separate gathers and dots, and every other
+layer (flow extraction, congestion, benchmarks) re-walks the same
+per-tree arrays.
+
+The :class:`TreeLedger` stores those pairs **once**, as the columns of a
+shared CSC-style incidence matrix ``M`` (``M[e, t] = n_e(t)``) covering
+every distinct tree across all sessions *and all steps* of a run:
+
+* **Append-only registration.**  Columns are content-addressed by
+  :meth:`OverlayTree.canonical_key` — the same identity the oracle's
+  memo and the flow accumulators key on — so the oracle memo and the
+  ledger agree on what "the same tree" means, and re-registering a tree
+  is a dict hit.
+* **Growth-doubling storage.**  ``indptr``/``rows``/``values`` live in
+  amortised-doubling arrays, so registration stays O(footprint) and the
+  matrix never reallocates per column.
+* **Degree-bucketed row partitions.**  Tree footprints are skewed (a
+  2-member session's tree touches one path; a 10-member session's tree
+  touches dozens), so bucket columns by ``footprint.bit_length()``.
+  The exact evaluation path walks buckets for locality; the padded 2-D
+  kernel (:meth:`lengths_for_all`) pads only within a bucket, keeping
+  wasted lanes bounded by 2x instead of max/min footprint.
+
+``lengths @ M`` (:meth:`lengths_for`) and ``M @ weights``
+(:meth:`edge_values`) are the two products the engine needs per step.
+Both are **bit-identical** to the per-tree loops they replace:
+``lengths_for`` evaluates each column as the same contiguous
+``np.dot`` over the same values the tree's own
+:meth:`~repro.overlay.tree.OverlayTree.length` would use (dense
+full-``|E|`` dot below ``SPARSE_LENGTH_MIN_EDGES``, gathered sparse dot
+above it), and ``edge_values`` scatters with ``np.add.at`` in column
+order, which applies the additions in exactly the per-tree sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.overlay.tree import SPARSE_LENGTH_MIN_EDGES, OverlayTree
+from repro.util.errors import ConfigurationError
+
+_STACKED_TREES_DEFAULT = True
+
+
+def configure_stacked_trees(enabled: bool) -> bool:
+    """Set the process-wide default for the stacked-tree engine path.
+
+    Returns the previous default.  Engines resolve the default at
+    construction time; existing engines are unaffected.  The stacked
+    path is bit-identical to the per-tree loop it replaces (asserted in
+    ``tests/test_tree_ledger.py``) — the switch exists for equivalence
+    tests and the ``engine_step`` perf ablation.
+    """
+    global _STACKED_TREES_DEFAULT
+    previous = _STACKED_TREES_DEFAULT
+    _STACKED_TREES_DEFAULT = bool(enabled)
+    return previous
+
+
+def stacked_trees_default() -> bool:
+    """Current process-wide default for the stacked-tree engine path."""
+    return _STACKED_TREES_DEFAULT
+
+
+class TreeLedger:
+    """Append-only shared incidence matrix over distinct overlay trees.
+
+    Parameters
+    ----------
+    num_edges:
+        Number of physical edges (the matrix's row dimension).
+    initial_columns / initial_entries:
+        Initial capacities of the growth-doubling column and nonzero
+        stores; purely a performance knob.
+    """
+
+    def __init__(
+        self,
+        num_edges: int,
+        initial_columns: int = 64,
+        initial_entries: int = 1024,
+    ) -> None:
+        if num_edges < 1:
+            raise ConfigurationError("num_edges must be positive")
+        self._num_edges = int(num_edges)
+        # Below the measured dense/sparse crossover every tree on this
+        # network evaluates lengths with the dense full-|E| dot; the
+        # ledger must follow suit to stay bit-identical per column.
+        self._sparse = self._num_edges >= SPARSE_LENGTH_MIN_EDGES
+        self._indptr = np.zeros(max(2, int(initial_columns) + 1), dtype=np.int64)
+        self._rows = np.empty(max(1, int(initial_entries)), dtype=np.int64)
+        self._values = np.empty(max(1, int(initial_entries)), dtype=float)
+        self._columns: Dict[Tuple, int] = {}
+        self._trees: List[OverlayTree] = []
+        self._buckets: Dict[int, List[int]] = {}
+        self._registrations = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def _grow_entries(self, needed: int) -> None:
+        if needed <= self._rows.size:
+            return
+        capacity = self._rows.size
+        while capacity < needed:
+            capacity *= 2
+        rows = np.empty(capacity, dtype=np.int64)
+        values = np.empty(capacity, dtype=float)
+        used = int(self._indptr[len(self._trees)])
+        rows[:used] = self._rows[:used]
+        values[:used] = self._values[:used]
+        self._rows = rows
+        self._values = values
+
+    def _grow_columns(self, needed: int) -> None:
+        if needed + 1 <= self._indptr.size:
+            return
+        capacity = self._indptr.size
+        while capacity < needed + 1:
+            capacity *= 2
+        indptr = np.zeros(capacity, dtype=np.int64)
+        indptr[: len(self._trees) + 1] = self._indptr[: len(self._trees) + 1]
+        self._indptr = indptr
+
+    def register(self, tree: OverlayTree) -> int:
+        """The column index of ``tree``, appending a new column on first sight.
+
+        Content-addressed by :meth:`OverlayTree.canonical_key`; repeated
+        registration of the same tree (from any oracle, any step) is a
+        dict lookup and returns the original column.
+        """
+        key = tree.canonical_key()
+        column = self._columns.get(key)
+        self._registrations += 1
+        if column is not None:
+            return column
+        if tree.edge_usage.size != self._num_edges:
+            raise ConfigurationError(
+                f"tree spans {tree.edge_usage.size} edges, ledger holds "
+                f"{self._num_edges}"
+            )
+        rows = tree.physical_edges
+        values = tree.usage_values
+        column = len(self._trees)
+        start = int(self._indptr[column])
+        self._grow_columns(column + 1)
+        self._grow_entries(start + rows.size)
+        self._rows[start : start + rows.size] = rows
+        self._values[start : start + values.size] = values
+        self._indptr[column + 1] = start + rows.size
+        self._columns[key] = column
+        self._trees.append(tree)
+        self._buckets.setdefault(int(rows.size).bit_length(), []).append(column)
+        return column
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Row dimension (physical edge count)."""
+        return self._num_edges
+
+    @property
+    def num_columns(self) -> int:
+        """Distinct trees registered so far."""
+        return len(self._trees)
+
+    @property
+    def nnz(self) -> int:
+        """Stored nonzeros across all columns."""
+        return int(self._indptr[len(self._trees)])
+
+    @property
+    def registrations(self) -> int:
+        """Total :meth:`register` calls, duplicate hits included."""
+        return self._registrations
+
+    def column_for(self, tree: OverlayTree) -> Optional[int]:
+        """The column of ``tree`` if registered, else ``None``."""
+        return self._columns.get(tree.canonical_key())
+
+    def tree_at(self, column: int) -> OverlayTree:
+        """The tree backing ``column`` (registration order)."""
+        return self._trees[column]
+
+    def bucket_partitions(self) -> Dict[int, np.ndarray]:
+        """Column indices grouped by footprint magnitude.
+
+        Bucket ``b`` holds columns whose footprint ``f`` satisfies
+        ``f.bit_length() == b`` (i.e. ``2^(b-1) <= f < 2^b``), so
+        padding within a bucket wastes at most half the lanes — the
+        degree-bucketed partitioning that keeps the padded 2-D kernel
+        balanced under skewed tree sizes.
+        """
+        return {
+            bucket: np.asarray(columns, dtype=np.int64)
+            for bucket, columns in sorted(self._buckets.items())
+        }
+
+    def column_slices(
+        self, columns: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(start, end)`` nonzero ranges of ``columns`` in the stores."""
+        cols = np.asarray(columns, dtype=np.int64)
+        return self._indptr[cols], self._indptr[cols + 1]
+
+    # ------------------------------------------------------------------
+    # the two engine products
+    # ------------------------------------------------------------------
+    def lengths_for(
+        self, columns: Sequence[int], edge_lengths: np.ndarray
+    ) -> np.ndarray:
+        """``lengths @ M`` restricted to ``columns`` — one gather, C dots.
+
+        Bit-identical per column to ``tree.length(edge_lengths)``: on
+        sparse-evaluation networks the gathered slice holds exactly the
+        tree's physical-edge lengths and the stored values are exactly
+        its usage values, so the contiguous ``np.dot`` is the same BLAS
+        reduction over the same operands; below the crossover each
+        column falls back to the tree's own dense full-``|E|`` dot.
+        """
+        lengths = np.asarray(edge_lengths, dtype=float)
+        cols = np.asarray(columns, dtype=np.int64)
+        out = np.empty(cols.size, dtype=float)
+        if not self._sparse:
+            for i in range(cols.size):
+                out[i] = float(np.dot(self._trees[cols[i]].edge_usage, lengths))
+            return out
+        starts, ends = self.column_slices(cols)
+        # One fancy-index gather covering every requested column's rows,
+        # then a contiguous dot per column over its slice.
+        gather = (
+            np.concatenate([self._rows[s:e] for s, e in zip(starts, ends)])
+            if cols.size
+            else np.empty(0, dtype=np.int64)
+        )
+        gathered = lengths[gather]
+        offset = 0
+        for i in range(cols.size):
+            count = int(ends[i] - starts[i])
+            out[i] = float(
+                np.dot(
+                    self._values[starts[i] : ends[i]],
+                    gathered[offset : offset + count],
+                )
+            )
+            offset += count
+        return out
+
+    def edge_values(
+        self,
+        columns: Sequence[int],
+        weights: Sequence[float],
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``M @ diag(weights)`` summed over ``columns`` — one scatter.
+
+        ``out[e] = sum_t M[e, t] * weights[t]`` over the requested
+        columns.  ``np.add.at`` applies the additions sequentially in
+        array order — column by column, each column's edges in stored
+        order — exactly the accumulation sequence of the per-tree
+        ``out[tree.physical_edges] += tree.usage_values * w`` loop, so
+        results are bit-identical to it.
+        """
+        cols = np.asarray(columns, dtype=np.int64)
+        w = np.asarray(weights, dtype=float)
+        if cols.shape != w.shape:
+            raise ConfigurationError(
+                f"columns and weights must have matching shapes, got "
+                f"{cols.shape} and {w.shape}"
+            )
+        if out is None:
+            out = np.zeros(self._num_edges, dtype=float)
+        if cols.size == 0:
+            return out
+        starts, ends = self.column_slices(cols)
+        rows = np.concatenate([self._rows[s:e] for s, e in zip(starts, ends)])
+        values = np.concatenate(
+            [self._values[s:e] * w[i] for i, (s, e) in enumerate(zip(starts, ends))]
+        )
+        np.add.at(out, rows, values)
+        return out
+
+    # ------------------------------------------------------------------
+    # bucketed throughput kernel (benchmarks / bulk analytics)
+    # ------------------------------------------------------------------
+    def lengths_for_all(self, edge_lengths: np.ndarray) -> np.ndarray:
+        """All column lengths via the padded degree-bucketed 2-D kernel.
+
+        Pads each bucket's columns to the bucket's maximum footprint
+        (bounded 2x waste by construction) and reduces with one 2-D
+        gather + row-sum per bucket.  Throughput path for benchmarks and
+        bulk analytics: the row-sum's pairwise reduction order differs
+        from the solver dots, so results agree to floating-point
+        round-off (``allclose``), not bitwise — solver paths use
+        :meth:`lengths_for`.
+        """
+        lengths = np.asarray(edge_lengths, dtype=float)
+        out = np.empty(len(self._trees), dtype=float)
+        for _, columns in sorted(self._buckets.items()):
+            cols = np.asarray(columns, dtype=np.int64)
+            starts, ends = self.column_slices(cols)
+            counts = ends - starts
+            width = int(counts.max())
+            # Padded row/value blocks: lanes beyond a column's footprint
+            # point at row 0 with value 0.0, contributing exact zeros.
+            offsets = starts[:, None] + np.arange(width)[None, :]
+            mask = np.arange(width)[None, :] < counts[:, None]
+            block_rows = np.where(mask, self._rows[np.minimum(offsets, self.nnz - 1)], 0)
+            block_vals = np.where(mask, self._values[np.minimum(offsets, self.nnz - 1)], 0.0)
+            out[cols] = (block_vals * lengths[block_rows]).sum(axis=1)
+        return out

@@ -199,7 +199,12 @@ class LengthFunction:
         self._rel[np.asarray(edge_ids, dtype=np.int64)] *= factors
         self._renormalize()
 
-    def multiply_batch(self, edge_ids: np.ndarray, factors: np.ndarray) -> None:
+    def multiply_batch(
+        self,
+        edge_ids: np.ndarray,
+        factors: np.ndarray,
+        assume_unique: bool = False,
+    ) -> None:
         """Apply a batch of (edge, factor) updates in one vectorised op.
 
         The batched form of :meth:`multiply`: ``edge_ids`` may repeat an
@@ -209,6 +214,16 @@ class LengthFunction:
         of one ``multiply`` per step.  Equivalent to — and bit-compatible
         with, up to one shared renormalisation — the sequential loop, as
         multiplication is commutative.
+
+        ``assume_unique=True`` skips the duplicate-safe ``np.multiply.at``
+        buffering (and its rollback copy) for batches the caller can
+        *verify* are duplicate-free — e.g. the stacked engine's per-step
+        flushes, whose ids are a tree's deduplicated ``physical_edges``.
+        The fast path is the exact operation sequence of
+        :meth:`multiply` (fancy in-place multiply, one renormalisation),
+        so it is bit-identical to both the safe path and the sequential
+        loop; with a repeated id it would silently keep only the last
+        factor, hence the explicit opt-in.
         """
         edge_ids = np.asarray(edge_ids, dtype=np.int64)
         factors = np.asarray(factors, dtype=float)
@@ -221,6 +236,10 @@ class LengthFunction:
             raise ConfigurationError(
                 "length update factors must be positive and finite"
             )
+        if assume_unique:
+            self._rel[edge_ids] *= factors
+            self._renormalize()
+            return
         self._multiply_batch_checked(edge_ids, factors)
 
     def _multiply_batch_checked(self, edge_ids: np.ndarray, factors: np.ndarray) -> None:

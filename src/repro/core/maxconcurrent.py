@@ -67,6 +67,12 @@ class MaxConcurrentFlowConfig:
         (:func:`repro.util.jobs.default_jobs`); ``0`` means all cores.
         Purely a performance switch: the resulting ``beta`` vector is
         bit-identical to a serial run.
+    stacked_trees:
+        Run the engine's stacked-tree path (shared
+        :class:`~repro.core.engine.TreeLedger`, deduplicated per-step
+        length flushes) in the main run and the pre-scaling MaxFlow
+        runs.  ``None`` = process default (on).  Purely a performance
+        switch; results are bit-identical either way.
     """
 
     epsilon: Optional[float] = None
@@ -75,6 +81,7 @@ class MaxConcurrentFlowConfig:
     max_steps: Optional[int] = None
     memoize: Optional[bool] = None
     prescale_jobs: Optional[int] = None
+    stacked_trees: Optional[bool] = None
 
     def resolved_epsilon(self) -> float:
         """The epsilon actually used (resolving the ratio form)."""
@@ -91,14 +98,16 @@ class MaxConcurrentFlowConfig:
         return epsilon_for_ratio(self.approximation_ratio, slack_factor=3.0)
 
 
-# Per-process pre-scaling context (routing, epsilon, memoize), installed
-# by the pool initializer so it is pickled once per worker rather than
-# once per session task.
-_prescale_context: Optional[Tuple[RoutingModel, float, Optional[bool]]] = None
+# Per-process pre-scaling context (routing, epsilon, memoize,
+# stacked_trees), installed by the pool initializer so it is pickled once
+# per worker rather than once per session task.
+_prescale_context: Optional[
+    Tuple[RoutingModel, float, Optional[bool], Optional[bool]]
+] = None
 
 
 def _set_prescale_context(
-    context: Tuple[RoutingModel, float, Optional[bool]]
+    context: Tuple[RoutingModel, float, Optional[bool], Optional[bool]]
 ) -> None:
     """Install the shared pre-scaling context in this process."""
     global _prescale_context
@@ -107,9 +116,11 @@ def _set_prescale_context(
 
 def _standalone_rate_cell(session: Session) -> Tuple[float, int]:
     """Solve one session's standalone MaxFlow (module-level for pickling)."""
-    routing, epsilon, memoize = _prescale_context
+    routing, epsilon, memoize, stacked_trees = _prescale_context
     solution = MaxFlow(
-        [session], routing, MaxFlowConfig(epsilon=epsilon, memoize=memoize)
+        [session],
+        routing,
+        MaxFlowConfig(epsilon=epsilon, memoize=memoize, stacked_trees=stacked_trees),
     ).solve()
     return solution.sessions[0].rate, solution.oracle_calls
 
@@ -154,7 +165,12 @@ class MaxConcurrentFlow:
         """
         from repro.util.jobs import resolve_jobs
 
-        context = (self._routing, self._config.prescale_epsilon, self._config.memoize)
+        context = (
+            self._routing,
+            self._config.prescale_epsilon,
+            self._config.memoize,
+            self._config.stacked_trees,
+        )
         in_child_process = multiprocessing.parent_process() is not None
         workers = 1 if in_child_process else min(
             resolve_jobs(self._config.prescale_jobs), len(self._sessions)
@@ -233,6 +249,7 @@ class MaxConcurrentFlow:
             stopping=DualObjectiveStop(capacities),
             step_cap=step_cap,
             cap_message=f"MaxConcurrentFlow exceeded the step cap of {step_cap}",
+            stacked_trees=self._config.stacked_trees,
         )
         run = engine.run()
         steps = run.steps

@@ -59,6 +59,13 @@ class MaxFlowConfig:
         union-of-members Dijkstra under dynamic routing).  ``None`` =
         default, on.  Purely a performance switch; results are
         bit-identical either way.
+    stacked_trees:
+        Run the engine's stacked-tree path: every distinct tree lives as
+        a column of a shared :class:`~repro.core.engine.TreeLedger`, a
+        round's tree lengths are one ``lengths @ M`` product and length
+        updates flush as one deduplicated batch per step.  ``None`` =
+        process default (on).  Purely a performance switch; results are
+        bit-identical either way.
     """
 
     epsilon: Optional[float] = None
@@ -66,6 +73,7 @@ class MaxFlowConfig:
     max_iterations: Optional[int] = None
     memoize: Optional[bool] = None
     batch_oracle: Optional[bool] = None
+    stacked_trees: Optional[bool] = None
 
     def resolved_epsilon(self) -> float:
         """The epsilon actually used (resolving the ratio form)."""
@@ -141,6 +149,7 @@ class MaxFlow:
             step_cap=iteration_cap,
             cap_message=f"MaxFlow exceeded the iteration cap of {iteration_cap}",
             batch_oracle=self._config.batch_oracle,
+            stacked_trees=self._config.stacked_trees,
         )
         run = engine.run()
         iterations = run.steps

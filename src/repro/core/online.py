@@ -50,11 +50,20 @@ class OnlineConfig:
         Oracle tree-construction memoization (``None`` = process default,
         on).  Purely a performance switch; results are identical either
         way.
+    stacked_trees:
+        Run the engine's stacked-tree path: trees live as columns of a
+        shared :class:`~repro.core.engine.TreeLedger`, and under fixed
+        routing a prefix of independent (footprint-disjoint) pending
+        arrivals is queried as one grouped round whose tree lengths are
+        a single ledger product.  ``None`` = process default (on).
+        Purely a performance switch; results are bit-identical either
+        way.
     """
 
     sigma: float = 10.0
     apply_no_bottleneck_scaling: bool = False
     memoize: Optional[bool] = None
+    stacked_trees: Optional[bool] = None
 
     def validate(self) -> None:
         if self.sigma <= 0:
@@ -110,6 +119,7 @@ class OnlineMinCongestion:
             oracle_factory=lambda session: MinimumOverlayTreeOracle(
                 session, self._routing, memoize=self._config.memoize
             ),
+            stacked_trees=self._config.stacked_trees,
         )
         self._state = OnlineState(
             lengths=self._engine.lengths,
@@ -155,9 +165,25 @@ class OnlineMinCongestion:
         return action.tree
 
     def accept_all(self, sessions: Sequence[Session]) -> List[OverlayTree]:
-        """Route a whole arrival sequence, in order."""
+        """Route a whole arrival sequence, in order.
+
+        The whole sequence is fed before stepping, which lets the
+        stacked engine path serve prefixes of independent
+        (footprint-disjoint) arrivals as grouped query rounds.  Each
+        arrival is still routed by its own engine step, in order, with
+        its own length/congestion update — decisions and results are
+        bit-identical to one-at-a-time :meth:`accept` calls.
+        """
         self.prepare_demand_scaling(sessions)
-        return [self.accept(s) for s in sessions]
+        trees: List[OverlayTree] = []
+        for session in sessions:
+            session.validate_against(self._network)
+            self._policy.feed(session)
+        for _ in sessions:
+            action = self._engine.step()
+            self._state.oracle_calls += 1
+            trees.append(action.tree)
+        return trees
 
     # ------------------------------------------------------------------
     # result extraction

@@ -105,12 +105,20 @@ class SessionResult:
     def edge_flows(self, num_edges: int) -> np.ndarray:
         """Physical traffic this session places on each edge.
 
-        Accumulated sparsely over each tree's physical edges (the
-        indices are distinct per tree, so fancy-index ``+=`` is safe).
+        One ``M @ flows`` scatter over the concatenated tree columns:
+        ``np.add.at`` applies the additions sequentially in array order
+        (tree by tree, each tree's edges in stored order), which is
+        bit-identical to the per-tree fancy-``+=`` loop it replaced —
+        same per-edge accumulation sequence.
         """
         out = np.zeros(num_edges, dtype=float)
-        for tf in self.tree_flows:
-            out[tf.tree.physical_edges] += tf.tree.usage_values * tf.flow
+        if not self.tree_flows:
+            return out
+        rows = np.concatenate([tf.tree.physical_edges for tf in self.tree_flows])
+        values = np.concatenate(
+            [tf.tree.usage_values * tf.flow for tf in self.tree_flows]
+        )
+        np.add.at(out, rows, values)
         return out
 
 

@@ -36,6 +36,17 @@ oracle keys a per-session cache on exactly that, so repeated trees skip
 the ``np.add.at`` usage accumulation) entirely.  ``call_count`` — the
 paper's "MST operations" metric — is incremented on cache hits exactly as
 before, and cached results are bit-identical to freshly built ones.
+
+**Tree ledger.**  When the engine runs its stacked path, every oracle is
+attached (:meth:`MinimumOverlayTreeOracle.attach_ledger`) to a shared
+:class:`~repro.core.engine.ledger.TreeLedger`, and every tree the oracle
+constructs is registered there as well as in its private memo — the two
+stores share identity through :meth:`OverlayTree.canonical_key`.  The
+``select_tree*`` methods return the chosen tree *without* evaluating its
+length, so a batched caller can compute a whole round's tree lengths as
+one ``lengths @ M`` product over ledger columns instead of per-tree
+reductions; the ``minimum_tree*`` methods wrap them and keep the
+classic ``(tree, length)`` contract.
 """
 
 from __future__ import annotations
@@ -164,6 +175,7 @@ class MinimumOverlayTreeOracle:
         self._tree_cache: Dict[Tuple, OverlayTree] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        self._ledger = None
 
         n = len(self._members)
         self._triu_rows, self._triu_cols = np.triu_indices(n, k=1)
@@ -242,6 +254,25 @@ class MinimumOverlayTreeOracle:
         self._tree_cache.clear()
         self._cache_hits = 0
         self._cache_misses = 0
+
+    def attach_ledger(self, ledger) -> None:
+        """Register this oracle's trees in a shared tree ledger.
+
+        Every tree the oracle has already memoized is registered
+        immediately (in memo insertion order); every tree it constructs
+        from now on is registered as it is built.  Registration is
+        content-addressed by :meth:`OverlayTree.canonical_key`, so the
+        ledger and the memo agree on tree identity and re-registration
+        is a dict hit.  Attaching never changes oracle results.
+        """
+        self._ledger = ledger
+        for tree in self._tree_cache.values():
+            ledger.register(tree)
+
+    @property
+    def ledger(self):
+        """The attached :class:`TreeLedger`, or ``None``."""
+        return self._ledger
 
     @property
     def is_fixed(self) -> bool:
@@ -322,12 +353,32 @@ class MinimumOverlayTreeOracle:
             pair_key(members[i], members[j]) for i, j in tree_index_pairs
         ]
         paths = self._routing.paths_for_pairs(overlay_edges, lengths)
-        return self._dynamic_result(overlay_edges, paths, lengths)
+        tree = self._dynamic_tree(overlay_edges, paths)
+        return OracleResult(tree=tree, length=tree.length(lengths))
 
-    def minimum_tree_from_query(
-        self, query, edge_lengths: np.ndarray
-    ) -> OracleResult:
-        """Dynamic-routing oracle served from a retained Dijkstra query.
+    def select_tree(self, edge_lengths: np.ndarray) -> OverlayTree:
+        """The minimum tree under ``edge_lengths``, without its length.
+
+        The stacked engine path selects a whole round's trees first and
+        evaluates all their lengths as one ledger product, so the
+        per-tree reduction inside :meth:`minimum_tree` is skipped here.
+        Counts as one MST operation, exactly like :meth:`minimum_tree`;
+        the legacy dynamic pipeline (fast path off) has no tree-only
+        form and is served through :meth:`minimum_tree` instead.
+        """
+        lengths = np.asarray(edge_lengths, dtype=float)
+        if self._fixed:
+            return self.select_tree_precomputed(self._incidence @ lengths)
+        if self._dynamic_fastpath:
+            return self.select_tree_from_query(
+                self._routing.query(self._members, lengths)
+            )
+        raise ConfigurationError(
+            "tree-only selection requires fixed routing or the dynamic fast path"
+        )
+
+    def select_tree_from_query(self, query) -> OverlayTree:
+        """Tree-only form of :meth:`minimum_tree_from_query`.
 
         ``query`` is a
         :class:`~repro.routing.shortest_path.ShortestPathQuery` whose
@@ -345,16 +396,27 @@ class MinimumOverlayTreeOracle:
             )
         self._call_count += 1
         members = self._members
-        lengths = np.asarray(edge_lengths, dtype=float)
         weight = self._routing.pair_lengths_from_query(query, members)
         tree_index_pairs = minimum_spanning_tree_pairs(weight, validate=False)
         overlay_edges = [
             pair_key(members[i], members[j]) for i, j in tree_index_pairs
         ]
         paths = query.paths_for_pairs(overlay_edges)
-        return self._dynamic_result(overlay_edges, paths, lengths)
+        return self._dynamic_tree(overlay_edges, paths)
 
-    def _dynamic_result(self, overlay_edges, paths, lengths) -> OracleResult:
+    def minimum_tree_from_query(
+        self, query, edge_lengths: np.ndarray
+    ) -> OracleResult:
+        """Dynamic-routing oracle served from a retained Dijkstra query.
+
+        :meth:`select_tree_from_query` plus the tree's length under
+        ``edge_lengths`` — the classic ``(tree, length)`` contract.
+        """
+        tree = self.select_tree_from_query(query)
+        lengths = np.asarray(edge_lengths, dtype=float)
+        return OracleResult(tree=tree, length=tree.length(lengths))
+
+    def _dynamic_tree(self, overlay_edges, paths) -> OverlayTree:
         """Shared tail of both dynamic branches: memoize key + build."""
         # Under dynamic routing the overlay edges alone do not pin down
         # the physical realisation — include the path node sequences in
@@ -365,18 +427,15 @@ class MinimumOverlayTreeOracle:
             if self._memoize
             else None
         )
-        tree = self._cached_tree(
+        return self._cached_tree(
             key,
             lambda: OverlayTree.from_paths(
                 self._members, overlay_edges, paths, self._network.num_edges
             ),
         )
-        return OracleResult(tree=tree, length=tree.length(lengths))
 
-    def minimum_tree_precomputed(
-        self, pair_lengths: np.ndarray, edge_lengths: np.ndarray
-    ) -> OracleResult:
-        """Fixed-routing oracle given precomputed overlay pair lengths.
+    def select_tree_precomputed(self, pair_lengths: np.ndarray) -> OverlayTree:
+        """Fixed-routing tree selection given precomputed pair lengths.
 
         ``pair_lengths`` must equal ``incidence @ edge_lengths`` (row
         per :meth:`~repro.routing.ip_routing.FixedIPRouting.member_pairs`
@@ -390,7 +449,6 @@ class MinimumOverlayTreeOracle:
             )
         self._call_count += 1
         members = self._members
-        lengths = np.asarray(edge_lengths, dtype=float)
         # The preallocated matrix is exactly symmetric by construction
         # (both triangles written from one vector), so the MST step
         # can skip its validation pass.
@@ -403,7 +461,7 @@ class MinimumOverlayTreeOracle:
         # same cache entry.  Fixed routes pin down the physical
         # realisation, so the index pairs alone suffice.
         key = tuple(sorted(tree_index_pairs)) if self._memoize else None
-        tree = self._cached_tree(
+        return self._cached_tree(
             key,
             lambda: OverlayTree.from_paths(
                 members,
@@ -412,6 +470,17 @@ class MinimumOverlayTreeOracle:
                 self._network.num_edges,
             ),
         )
+
+    def minimum_tree_precomputed(
+        self, pair_lengths: np.ndarray, edge_lengths: np.ndarray
+    ) -> OracleResult:
+        """Fixed-routing oracle given precomputed overlay pair lengths.
+
+        :meth:`select_tree_precomputed` plus the tree's length under
+        ``edge_lengths`` — the classic ``(tree, length)`` contract.
+        """
+        tree = self.select_tree_precomputed(pair_lengths)
+        lengths = np.asarray(edge_lengths, dtype=float)
         return OracleResult(tree=tree, length=tree.length(lengths))
 
     def _cached_tree(self, key: Optional[Tuple], build) -> OverlayTree:
@@ -431,6 +500,10 @@ class MinimumOverlayTreeOracle:
         if key is not None:
             self._tree_cache[key] = tree
             self._cache_misses += 1
+        if self._ledger is not None:
+            # Content-addressed, so un-memoized rebuilds of a known tree
+            # land on the existing column.
+            self._ledger.register(tree)
         return tree
 
     def normalized_length(self, result: OracleResult, max_session_size: int) -> float:

@@ -22,10 +22,18 @@ from repro.util.errors import InvalidSessionError
 
 # Edge count above which the sparse tree-length evaluation (gather the
 # tree's physical-edge lengths, dot with the precomputed usage values)
-# beats the dense full-|E| dot product.  Measured crossover on the
-# BENCH_core instances: dense wins below ~1k edges (BLAS on a short
-# contiguous vector), sparse wins from ~2k edges and scales O(footprint)
-# instead of O(|E|) — ~3x at 12k edges, unboundedly better beyond.
+# beats the dense full-|E| dot product.  Re-measured via the BENCH_core
+# ``tree_length.crossover`` sweep: dense wins below ~1.5k edges (BLAS
+# on a short contiguous vector) and the gather wins above; the constant
+# stays at the conservative 2048 — mispredicting dense near the
+# boundary costs fractions of a microsecond, while the sweep's exact
+# crossover moves with footprint size and hardware.  Engine query
+# rounds on sparse-regime networks are served through the shared
+# :class:`~repro.core.engine.ledger.TreeLedger` (one gather for a whole
+# round), retiring the per-tree sparse gathers from those hot paths;
+# this per-tree branch remains for loop-mode ablations and standalone
+# ``length`` callers, and the ledger mirrors the same dense/sparse
+# choice to stay bit-identical per column.
 SPARSE_LENGTH_MIN_EDGES = 2048
 
 

@@ -13,11 +13,22 @@ from one PR to the next:
   the fixed/dynamic cost ratio visible),
 * the **tree-length evaluation** ablation: the sparse incidence mat-vec
   over the tree's physical edges (:meth:`OverlayTree.length`) versus the
-  dense full-``|E|`` dot product it replaced,
+  dense full-``|E|`` dot product it replaced, plus the dense/sparse
+  **crossover sweep** backing ``SPARSE_LENGTH_MIN_EDGES`` and the
+  **ledger round** arm (one :meth:`TreeLedger.lengths_for` gather for a
+  whole round versus the per-tree ``length`` loop),
 * the **length-update batching** ablation: one
   :meth:`LengthFunction.multiply_batch` call over an accumulated batch
   of (edge, factor) updates versus the per-step ``multiply`` loop it
-  coalesces,
+  coalesces, plus the ``assume_unique`` fast-path arm (skipping the
+  duplicate-safe ``np.multiply.at`` accumulation when the engine can
+  prove ids are unique),
+* the **engine step** ablation: wall time of full
+  :meth:`~repro.core.engine.PhaseEngine.step` calls — oracle round,
+  routing decision and length update — with the stacked-tree path
+  (``TreeLedger`` columns + batched front, the default) versus the
+  per-tree per-oracle loop (``stacked_trees=False, batch_oracle=False``),
+  under both routing models at a larger scale than the solver profiles,
 * the **oracle batching** ablation: one
   :class:`~repro.core.engine.BatchedOracleFront` round (a stacked
   incidence mat-vec answering every session's tree query at once — the
@@ -65,12 +76,13 @@ from repro.util.errors import ConfigurationError
 from repro.util.rng import ensure_rng
 from repro.util.serialization import dump_json
 
-BENCH_SCHEMA = "BENCH_core/v5"
+BENCH_SCHEMA = "BENCH_core/v6"
 _KNOWN_SCHEMAS = (
     "BENCH_core/v1",
     "BENCH_core/v2",
     "BENCH_core/v3",
     "BENCH_core/v4",
+    "BENCH_core/v5",
     BENCH_SCHEMA,
 )
 
@@ -91,12 +103,24 @@ class PerfProfile:
     # seconds).
     length_bench_nodes: int = 600
     length_evals: int = 20000
+    # The dense/sparse crossover sweep: node counts whose edge counts
+    # bracket ``SPARSE_LENGTH_MIN_EDGES``, and how often each point's
+    # raw dense/gathered dot is repeated.
+    crossover_nodes: Tuple[int, ...] = (160, 240, 320, 480, 640)
+    crossover_evals: int = 3000
+    # The ledger-round arm: how many trees one round evaluates and how
+    # many rounds to time.
+    ledger_trees: int = 8
+    ledger_rounds: int = 2000
     # The multiply-batch ablation: how many accumulated (edge, factor)
     # updates one batched call replaces, and how often to repeat the
     # whole comparison for a stable timing.
     multiply_updates: int = 512
     multiply_edges_per_update: int = 24
     multiply_reps: int = 50
+    # The assume_unique fast-path arm: size of the duplicate-free batch
+    # both multiply_batch variants apply.
+    multiply_unique_ids: int = 1024
     # The oracle-batch ablation: a many-session instance (the batched
     # front's win grows with the session count) and how many all-session
     # query rounds to time.
@@ -111,6 +135,18 @@ class PerfProfile:
     # (the per-size repetition count is derived from the size).
     prim_sizes: Tuple[int, ...] = (8, 16, 32, 64, 96, 128, 192)
     prim_reps: int = 2000
+    # The engine-step ablation: a larger instance than the solver
+    # profiles (its edge count sits in the sparse/ledger regime), timed
+    # as a bounded number of full engine steps per arm.  The dynamic arm
+    # uses fewer sessions and steps — Dijkstra rounds cost more than
+    # incidence mat-vecs.
+    engine_nodes: int = 320
+    engine_fixed_sessions: Tuple[int, ...] = (6, 5, 4) * 8
+    engine_dynamic_sessions: Tuple[int, ...] = (6, 5, 4) * 4
+    engine_fixed_steps: int = 600
+    engine_dynamic_steps: int = 150
+    engine_epsilon: float = 0.05
+    engine_warm_steps: int = 16
     seed: int = 2004
 
 
@@ -124,14 +160,25 @@ TINY_PROFILE = PerfProfile(
     dynamic_ratio=0.75,
     length_bench_nodes=400,
     length_evals=2000,
+    crossover_nodes=(160, 320),
+    crossover_evals=300,
+    ledger_trees=6,
+    ledger_rounds=200,
     multiply_updates=128,
     multiply_reps=5,
+    multiply_unique_ids=256,
     batch_nodes=80,
     batch_sessions=(5, 4, 5, 4),
     batch_rounds=40,
     dynamic_front_rounds=20,
     prim_sizes=(8, 32, 96),
     prim_reps=200,
+    engine_nodes=120,
+    engine_fixed_sessions=(4, 3) * 3,
+    engine_dynamic_sessions=(4, 3) * 2,
+    engine_fixed_steps=60,
+    engine_dynamic_steps=20,
+    engine_warm_steps=8,
 )
 QUICK_PROFILE = PerfProfile(
     name="quick",
@@ -242,6 +289,117 @@ def _timed_tree_length(profile: PerfProfile) -> Dict[str, float]:
         "sparse_evals_per_sec": iterations / sparse_seconds if sparse_seconds > 0 else 0.0,
         "dense_evals_per_sec": iterations / dense_seconds if dense_seconds > 0 else 0.0,
         "sparse_speedup": dense_seconds / sparse_seconds if sparse_seconds > 0 else 0.0,
+        "crossover": _timed_length_crossover(profile),
+        "ledger": _timed_ledger_round(profile),
+    }
+
+
+def _timed_length_crossover(profile: PerfProfile) -> Dict[str, object]:
+    """The dense/sparse tree-length crossover sweep.
+
+    Times the two raw evaluations behind :meth:`OverlayTree.length` —
+    the dense full-``|E|`` dot and the gathered footprint dot — on
+    instances whose edge counts bracket ``SPARSE_LENGTH_MIN_EDGES``, and
+    reports the first measured edge count where the gather wins.  This
+    is the re-measurement backing the constant now that engine rounds in
+    the sparse regime are served through the shared
+    :class:`~repro.core.engine.TreeLedger` (the per-tree branch remains
+    for loop-mode ablations and standalone callers).
+    """
+    from repro.overlay.tree import SPARSE_LENGTH_MIN_EDGES
+
+    edge_counts: List[float] = []
+    dense_us: List[float] = []
+    sparse_us: List[float] = []
+    crossover = 0.0
+    reps = profile.crossover_evals
+    for nodes in profile.crossover_nodes:
+        network = paper_flat_topology(
+            num_nodes=nodes, capacity=100.0, seed=profile.seed
+        )
+        session = random_session(network, 6, demand=100.0, seed=profile.seed + 2)
+        oracle = MinimumOverlayTreeOracle(session, FixedIPRouting(network))
+        tree = oracle.minimum_tree(np.ones(network.num_edges)).tree
+        lengths = ensure_rng(0).uniform(0.1, 1.0, network.num_edges)
+        usage = tree.edge_usage
+        rows = tree.physical_edges
+        values = tree.usage_values
+
+        start = time.perf_counter()
+        for _ in range(reps):
+            float(np.dot(usage, lengths))
+        dense_seconds = (time.perf_counter() - start) / reps
+
+        start = time.perf_counter()
+        for _ in range(reps):
+            float(np.dot(values, lengths[rows]))
+        sparse_seconds = (time.perf_counter() - start) / reps
+
+        edge_counts.append(float(network.num_edges))
+        dense_us.append(dense_seconds * 1e6)
+        sparse_us.append(sparse_seconds * 1e6)
+        if crossover == 0.0 and sparse_seconds < dense_seconds:
+            crossover = float(network.num_edges)
+    return {
+        "num_edges": edge_counts,
+        "dense_us_per_eval": dense_us,
+        "sparse_us_per_eval": sparse_us,
+        # First measured edge count where the gather won; 0.0 when dense
+        # won everywhere (the crossover then sits above the sweep).
+        "measured_crossover": crossover,
+        "configured_min_edges": float(SPARSE_LENGTH_MIN_EDGES),
+    }
+
+
+def _timed_ledger_round(profile: PerfProfile) -> Dict[str, float]:
+    """Ablation: one ledger round versus the per-tree ``length`` loop.
+
+    Both arms evaluate the same trees under the same length vector — the
+    work of one engine query round.  The ledger arm is one
+    :meth:`~repro.core.engine.TreeLedger.lengths_for` call (one gather
+    over the round's concatenated columns); the loop arm calls
+    :meth:`OverlayTree.length` per tree.  Results are bit-identical
+    (asserted in ``tests/test_tree_ledger.py``); here we only time.
+    Measured on the ``length_bench_nodes`` topology, large enough for
+    the sparse/ledger regime to engage.
+    """
+    from repro.core.engine import TreeLedger
+
+    network = paper_flat_topology(
+        num_nodes=profile.length_bench_nodes, capacity=100.0, seed=profile.seed
+    )
+    rng = ensure_rng(profile.seed + 8)
+    routing = FixedIPRouting(network)
+    ledger = TreeLedger(network.num_edges)
+    trees = []
+    for _ in range(profile.ledger_trees):
+        session = random_session(network, 6, demand=100.0, seed=rng)
+        oracle = MinimumOverlayTreeOracle(session, routing)
+        oracle.attach_ledger(ledger)
+        trees.append(oracle.select_tree(rng.uniform(0.1, 1.0, network.num_edges)))
+    columns = [ledger.register(tree) for tree in trees]
+    lengths = ensure_rng(1).uniform(0.1, 1.0, network.num_edges)
+    rounds = profile.ledger_rounds
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        ledger.lengths_for(columns, lengths)
+    ledger_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        [tree.length(lengths) for tree in trees]
+    loop_seconds = time.perf_counter() - start
+
+    return {
+        "trees": float(len(trees)),
+        "rounds": float(rounds),
+        "num_edges": float(network.num_edges),
+        "ledger_seconds": ledger_seconds,
+        "loop_seconds": loop_seconds,
+        "ledger_rounds_per_sec": rounds / ledger_seconds if ledger_seconds > 0 else 0.0,
+        "loop_rounds_per_sec": rounds / loop_seconds if loop_seconds > 0 else 0.0,
+        "ledger_round_speedup": loop_seconds / ledger_seconds if ledger_seconds > 0 else 0.0,
     }
 
 
@@ -284,6 +442,29 @@ def _timed_multiply_batch(profile: PerfProfile) -> Dict[str, float]:
         lengths.multiply_batch(batch_ids, batch_factors)
         batched_seconds += time.perf_counter() - start
 
+    # The assume_unique arm: a duplicate-free batch applied by the
+    # duplicate-safe ``np.multiply.at`` path versus the direct fancy-
+    # indexed multiply the engine's per-step flush uses (tree edge ids
+    # within one step are unique by construction).  Results are
+    # bit-identical (asserted in the test suite); here we only time.
+    unique_ids = rng.permutation(num_edges)[: profile.multiply_unique_ids].astype(
+        np.int64
+    )
+    unique_factors = rng.uniform(1.0, 1.2, unique_ids.size)
+    unique_reps = max(20, profile.multiply_reps * 4)
+    safe_seconds = 0.0
+    fast_seconds = 0.0
+    for _ in range(unique_reps):
+        lengths = LengthFunction(num_edges, 0.0)
+        start = time.perf_counter()
+        lengths.multiply_batch(unique_ids, unique_factors)
+        safe_seconds += time.perf_counter() - start
+
+        lengths = LengthFunction(num_edges, 0.0)
+        start = time.perf_counter()
+        lengths.multiply_batch(unique_ids, unique_factors, assume_unique=True)
+        fast_seconds += time.perf_counter() - start
+
     total_updates = float(profile.multiply_reps * profile.multiply_updates)
     return {
         "updates": float(profile.multiply_updates),
@@ -297,6 +478,13 @@ def _timed_multiply_batch(profile: PerfProfile) -> Dict[str, float]:
             total_updates / batched_seconds if batched_seconds > 0 else 0.0
         ),
         "batched_speedup": loop_seconds / batched_seconds if batched_seconds > 0 else 0.0,
+        "unique_ids": float(unique_ids.size),
+        "unique_reps": float(unique_reps),
+        "unique_safe_seconds": safe_seconds,
+        "unique_fast_seconds": fast_seconds,
+        "unique_fastpath_speedup": (
+            safe_seconds / fast_seconds if fast_seconds > 0 else 0.0
+        ),
     }
 
 
@@ -516,6 +704,121 @@ def _timed_prim_crossover(profile: PerfProfile) -> Dict[str, object]:
     }
 
 
+def _timed_engine_step(profile: PerfProfile) -> Dict[str, object]:
+    """Ablation: full engine steps, stacked representation vs the loop.
+
+    Times a bounded number of complete :meth:`PhaseEngine.step` calls —
+    oracle query round, routing decision, flow accumulation and length
+    update — under both routing models on an instance whose edge count
+    sits in the sparse/ledger regime (larger than the solver profiles).
+    The stacked arm runs the defaults (``TreeLedger`` columns, batched
+    oracle front, deduplicated length flush); the loop arm disables both
+    (``stacked_trees=False, batch_oracle=False``), i.e. one oracle query
+    and one duplicate-safe length update per tree.  Both arms execute
+    the identical step sequence — final length states are compared and
+    reported — so the speedup isolates the representation.  The
+    headline ``stacked_speedup`` is the best arm: the stacked path is a
+    default, and the arm where query rounds dominate (dynamic routing's
+    union-Dijkstra + ledger rounds) is where full steps feel it most.
+    """
+    from repro.core.engine import (
+        MaxFlowPolicy,
+        NormalizedLengthStop,
+        PhaseEngine,
+    )
+    from repro.core.lengths import LengthFunction
+    from repro.overlay.oracle import build_oracles
+
+    network = paper_flat_topology(
+        num_nodes=profile.engine_nodes, capacity=100.0, seed=profile.seed
+    )
+
+    def sessions_for(sizes: Tuple[int, ...], label: str, seed: int) -> List[Session]:
+        rng = ensure_rng(seed)
+        return [
+            random_session(network, size, demand=100.0, seed=rng, name=f"{label}{i}")
+            for i, size in enumerate(sizes)
+        ]
+
+    def build_engine(sessions, routing, stacked: bool) -> "PhaseEngine":
+        oracles = build_oracles(sessions, routing)
+        max_size = max(s.size for s in sessions)
+        longest = max(1, max(o.max_route_length() for o in oracles))
+        lengths = LengthFunction.for_maxflow(
+            network.num_edges, profile.engine_epsilon, max_size, longest
+        )
+        return PhaseEngine(
+            oracles=oracles,
+            lengths=lengths,
+            capacities=network.capacities,
+            policy=MaxFlowPolicy(
+                epsilon=profile.engine_epsilon, max_session_size=max_size
+            ),
+            stopping=NormalizedLengthStop(),
+            step_cap=10**9,
+            cap_message="engine-step bench exceeded its cap",
+            batch_oracle=stacked,
+            stacked_trees=stacked,
+        )
+
+    def run_arm(sessions, routing, stacked: bool, steps: int):
+        # Separate warm engine: route caches and the front's incidence
+        # build happen once per (routing, arm), leaving the timed engine
+        # to measure steady-state step cost from a fresh length state.
+        warm = build_engine(sessions, routing, stacked)
+        for _ in range(profile.engine_warm_steps):
+            warm.step()
+        engine = build_engine(sessions, routing, stacked)
+        start = time.perf_counter()
+        for _ in range(steps):
+            engine.step()
+        seconds = time.perf_counter() - start
+        return seconds, engine.lengths
+
+    def measure(routing_kind: str) -> Dict[str, float]:
+        if routing_kind == "fixed":
+            sessions = sessions_for(profile.engine_fixed_sessions, "f", profile.seed + 9)
+            steps = profile.engine_fixed_steps
+            make_routing = lambda: FixedIPRouting(network)  # noqa: E731
+        else:
+            sessions = sessions_for(
+                profile.engine_dynamic_sessions, "d", profile.seed + 10
+            )
+            steps = profile.engine_dynamic_steps
+            make_routing = lambda: DynamicRouting(network)  # noqa: E731
+        stacked_seconds, stacked_lengths = run_arm(
+            sessions, make_routing(), True, steps
+        )
+        loop_seconds, loop_lengths = run_arm(sessions, make_routing(), False, steps)
+        return {
+            "sessions": float(len(sessions)),
+            "steps": float(steps),
+            "stacked_seconds": stacked_seconds,
+            "loop_seconds": loop_seconds,
+            "stacked_steps_per_sec": (
+                steps / stacked_seconds if stacked_seconds > 0 else 0.0
+            ),
+            "loop_steps_per_sec": steps / loop_seconds if loop_seconds > 0 else 0.0,
+            "stacked_speedup": (
+                loop_seconds / stacked_seconds if stacked_seconds > 0 else 0.0
+            ),
+            "outputs_identical": bool(
+                stacked_lengths.log_offset == loop_lengths.log_offset
+                and np.array_equal(stacked_lengths.relative, loop_lengths.relative)
+            ),
+        }
+
+    fixed = measure("fixed")
+    dynamic = measure("dynamic")
+    return {
+        "num_nodes": float(profile.engine_nodes),
+        "num_edges": float(network.num_edges),
+        "fixed": fixed,
+        "dynamic": dynamic,
+        "stacked_speedup": max(fixed["stacked_speedup"], dynamic["stacked_speedup"]),
+    }
+
+
 def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
     """Measure the oracle hot path and return one run's BENCH_core record."""
     profile = profile_for_scale(scale)
@@ -539,6 +842,7 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
     oracle_batch = _timed_oracle_batch(profile)
     dynamic_oracle = _timed_dynamic_oracle(profile)
     prim_crossover = _timed_prim_crossover(profile)
+    engine_step = _timed_engine_step(profile)
 
     speedup = (
         fixed_unmemoized["seconds"] / fixed_memoized["seconds"]
@@ -570,6 +874,7 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
         "oracle_batch": oracle_batch,
         "dynamic_oracle": dynamic_oracle,
         "prim_crossover": prim_crossover,
+        "engine_step": engine_step,
     }
 
 
@@ -592,12 +897,24 @@ def _history_entry(record: Dict[str, object]) -> Dict[str, object]:
             "sparse_evals_per_sec"
         )
         entry["tree_length_sparse_speedup"] = tree_length.get("sparse_speedup")
+        crossover = tree_length.get("crossover", {})
+        if crossover:
+            entry["tree_length_measured_crossover"] = crossover.get(
+                "measured_crossover"
+            )
+        ledger = tree_length.get("ledger", {})
+        if ledger:
+            entry["ledger_round_speedup"] = ledger.get("ledger_round_speedup")
     length_multiply = record.get("length_multiply", {})
     if length_multiply:
         entry["multiply_batched_updates_per_sec"] = length_multiply.get(
             "batched_updates_per_sec"
         )
         entry["multiply_batched_speedup"] = length_multiply.get("batched_speedup")
+        if "unique_fastpath_speedup" in length_multiply:
+            entry["multiply_unique_speedup"] = length_multiply.get(
+                "unique_fastpath_speedup"
+            )
     oracle_batch = record.get("oracle_batch", {})
     if oracle_batch:
         entry["oracle_batch_rounds_per_sec"] = oracle_batch.get(
@@ -614,6 +931,15 @@ def _history_entry(record: Dict[str, object]) -> Dict[str, object]:
     prim = record.get("prim_crossover", {})
     if prim:
         entry["prim_crossover"] = prim.get("measured_crossover")
+    engine_step = record.get("engine_step", {})
+    if engine_step:
+        entry["engine_step_stacked_speedup"] = engine_step.get("stacked_speedup")
+        entry["engine_step_fixed_speedup"] = engine_step.get("fixed", {}).get(
+            "stacked_speedup"
+        )
+        entry["engine_step_dynamic_speedup"] = engine_step.get("dynamic", {}).get(
+            "stacked_speedup"
+        )
     return entry
 
 

@@ -53,14 +53,32 @@ def test_write_core_perf_record_tiny(tmp_path):
     assert tree_length["dense_evals_per_sec"] > 0
     assert tree_length["sparse_speedup"] > 0
 
+    # Dense/sparse crossover sweep backing SPARSE_LENGTH_MIN_EDGES, and
+    # the ledger-round arm (one lengths_for gather per round).
+    crossover = tree_length["crossover"]
+    assert len(crossover["num_edges"]) == len(crossover["dense_us_per_eval"])
+    assert len(crossover["num_edges"]) == len(crossover["sparse_us_per_eval"])
+    assert crossover["configured_min_edges"] == float(SPARSE_LENGTH_MIN_EDGES)
+    ledger = tree_length["ledger"]
+    assert ledger["trees"] > 1
+    assert ledger["rounds"] > 0
+    assert ledger["ledger_seconds"] > 0
+    assert ledger["loop_seconds"] > 0
+    assert ledger["ledger_round_speedup"] > 0
+
     # Length-update batching ablation: one multiply_batch call versus a
-    # loop of multiply calls over the same accumulated updates.
+    # loop of multiply calls over the same accumulated updates, plus the
+    # assume_unique fast-path arm on a duplicate-free batch.
     length_multiply = record["length_multiply"]
     assert length_multiply["updates"] > 0
     assert length_multiply["loop_seconds"] > 0
     assert length_multiply["batched_seconds"] > 0
     assert length_multiply["batched_updates_per_sec"] > 0
     assert length_multiply["batched_speedup"] > 0
+    assert length_multiply["unique_ids"] > 0
+    assert length_multiply["unique_safe_seconds"] > 0
+    assert length_multiply["unique_fast_seconds"] > 0
+    assert length_multiply["unique_fastpath_speedup"] > 0
 
     # Oracle-batching ablation: one BatchedOracleFront round (stacked
     # incidence mat-vec, all sessions) versus the per-oracle query loop.
@@ -91,12 +109,35 @@ def test_write_core_perf_record_tiny(tmp_path):
     assert len(prim["sizes"]) == len(prim["numpy_us_per_call"])
     assert prim["configured_limit"] > 0
 
+    # Engine-step ablation: full PhaseEngine.step wall with the stacked
+    # representation versus the per-tree per-oracle loop, both routings.
+    engine_step = record["engine_step"]
+    assert engine_step["num_edges"] > 0
+    for arm in ("fixed", "dynamic"):
+        assert engine_step[arm]["steps"] > 0
+        assert engine_step[arm]["sessions"] > 1
+        assert engine_step[arm]["stacked_seconds"] > 0
+        assert engine_step[arm]["loop_seconds"] > 0
+        assert engine_step[arm]["stacked_speedup"] > 0
+        # Both arms executed the identical step sequence.
+        assert engine_step[arm]["outputs_identical"]
+    assert engine_step["stacked_speedup"] == max(
+        engine_step["fixed"]["stacked_speedup"],
+        engine_step["dynamic"]["stacked_speedup"],
+    )
+
     latest = record["history"][-1]
     assert latest["multiply_batched_speedup"] == length_multiply["batched_speedup"]
+    assert latest["multiply_unique_speedup"] == (
+        length_multiply["unique_fastpath_speedup"]
+    )
     assert latest["oracle_batch_speedup"] == oracle_batch["batched_speedup"]
     assert latest["dynamic_oracle_calls_per_sec"] == dynamic_oracle["calls_per_sec"]
     assert latest["dynamic_oracle_speedup"] == dynamic_oracle["fastpath_speedup"]
     assert latest["prim_crossover"] == prim["measured_crossover"]
+    assert latest["tree_length_measured_crossover"] == crossover["measured_crossover"]
+    assert latest["ledger_round_speedup"] == ledger["ledger_round_speedup"]
+    assert latest["engine_step_stacked_speedup"] == engine_step["stacked_speedup"]
 
 
 def test_record_appends_history(tmp_path):
@@ -137,9 +178,9 @@ def test_record_migrates_v1_file(tmp_path):
 
 
 def test_record_migrates_v4_history(tmp_path):
-    # A v4 record's accumulated trajectory survives the v5 write: the
+    # A v4 record's accumulated trajectory survives later writes: the
     # prior history entries are carried over verbatim, with the new
-    # (v5, dynamic_oracle-bearing) entry appended last.
+    # entry appended last.
     path = tmp_path / "BENCH_core.json"
     v4_history = [
         {"schema": "BENCH_core/v3", "scale": "quick", "fixed_calls_per_sec": 9.0},
@@ -161,13 +202,52 @@ def test_record_migrates_v4_history(tmp_path):
     path.write_text(json.dumps(v4))
     write_core_perf_record(path, scale="tiny")
     record = json.loads(path.read_text())
-    assert record["schema"] == "BENCH_core/v5"
+    assert record["schema"] == BENCH_SCHEMA
     assert record["history"][:2] == v4_history
     assert len(record["history"]) == 3
     latest = record["history"][-1]
-    assert latest["schema"] == "BENCH_core/v5"
+    assert latest["schema"] == BENCH_SCHEMA
     assert latest["dynamic_oracle_calls_per_sec"] == (
         record["dynamic_oracle"]["calls_per_sec"]
+    )
+
+
+def test_record_migrates_v5_history(tmp_path):
+    # A v5 record's trajectory (pre-engine_step) survives the v6 write
+    # verbatim, with the new (v6, engine_step-bearing) entry appended.
+    path = tmp_path / "BENCH_core.json"
+    v5_history = [
+        {"schema": "BENCH_core/v4", "scale": "quick", "fixed_calls_per_sec": 10.0},
+        {
+            "schema": "BENCH_core/v5",
+            "scale": "quick",
+            "fixed_calls_per_sec": 11.0,
+            "dynamic_oracle_calls_per_sec": 2800.0,
+            "dynamic_oracle_speedup": 2.8,
+            "prim_crossover": 128.0,
+        },
+    ]
+    v5 = {
+        "schema": "BENCH_core/v5",
+        "scale": "quick",
+        "maxflow_fixed": {"memoized": {"calls_per_sec": 11.0}},
+        "maxflow_dynamic": {"memoized": {"calls_per_sec": 800.0}},
+        "dynamic_oracle": {"calls_per_sec": 2800.0, "fastpath_speedup": 2.8},
+        "history": v5_history,
+    }
+    path.write_text(json.dumps(v5))
+    write_core_perf_record(path, scale="tiny")
+    record = json.loads(path.read_text())
+    assert record["schema"] == "BENCH_core/v6"
+    assert record["history"][:2] == v5_history
+    assert len(record["history"]) == 3
+    latest = record["history"][-1]
+    assert latest["schema"] == "BENCH_core/v6"
+    assert latest["engine_step_stacked_speedup"] == (
+        record["engine_step"]["stacked_speedup"]
+    )
+    assert latest["engine_step_dynamic_speedup"] == (
+        record["engine_step"]["dynamic"]["stacked_speedup"]
     )
 
 
