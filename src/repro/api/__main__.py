@@ -99,6 +99,16 @@ def _describe_instrumentation(report: SolveReport) -> str:
             f"  stacked ledger: {instr.get('ledger_columns', 0)} tree columns, "
             f"{instr.get('spmm_rounds', 0)} SpMM length rounds"
         )
+    retained = len(instr.get("events", []))
+    dropped = instr.get("dropped_events", 0)
+    lines.append(
+        f"  events: {retained} retained, {dropped} dropped past the log bound"
+        + (
+            " (live listeners — e.g. the serve SSE relay — still saw them)"
+            if dropped
+            else ""
+        )
+    )
     if instr.get("max_congestion", 0.0) > 0:
         lines.append(f"  max congestion seen: {instr['max_congestion']:.6g}")
     return "\n".join(lines)

@@ -32,10 +32,11 @@ import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.api.registry import Registry, default_registry
 from repro.api.specs import ScenarioSpec, SessionSpec
+from repro.core.engine.instrumentation import event_tap
 from repro.core.result import FlowSolution, SessionResult, TreeFlow
 from repro.overlay.session import Session
 from repro.overlay.tree import OverlayTree
@@ -261,6 +262,7 @@ def solve(
     spec: ScenarioSpec,
     registry: Optional[Registry] = None,
     store: StoreLike = None,
+    on_event: Optional[Callable[..., None]] = None,
 ) -> SolveReport:
     """Solve one declarative scenario and return its report.
 
@@ -275,6 +277,15 @@ def solve(
     Stores only apply with the default registry: a custom registry may
     resolve the same names to different implementations, which would
     poison content-addressed entries.
+
+    ``on_event`` observes the solve live: it is installed as a
+    thread-local engine :func:`~repro.core.engine.instrumentation.event_tap`
+    for the duration of the solver run, so every
+    :class:`~repro.core.engine.instrumentation.EngineEvent` (oracle
+    rounds, phase boundaries, congestion snapshots) reaches it as it
+    fires — including events the bounded per-run log drops.  This is the
+    hook the serve layer's telemetry relay (and the queue workers) ride;
+    a store hit performs no engine work and therefore emits no events.
     """
     global _store_hits
     resolved = resolve_store(store) if registry is None else None
@@ -283,7 +294,11 @@ def solve(
         if hit is not None:
             _store_hits += 1
             return dataclasses.replace(hit, cached=True)
-    report = _solve_uncached(spec, registry)
+    if on_event is not None:
+        with event_tap(on_event):
+            report = _solve_uncached(spec, registry)
+    else:
+        report = _solve_uncached(spec, registry)
     if resolved is not None:
         resolved.put(report)
     return report

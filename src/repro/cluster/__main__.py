@@ -69,6 +69,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             poll_seconds=args.poll,
             max_tasks=args.max_tasks,
             exit_when_empty=args.exit_when_empty,
+            relay=args.relay,
         )
     print(
         f"worker done: {stats['completed']} task(s) "
@@ -156,6 +157,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=None,
         help="process-wide REPRO_JOBS default while this worker runs",
+    )
+    worker.add_argument(
+        "--relay",
+        default=None,
+        help="event-relay directory: stream each solve's engine events "
+        "to <relay>/<key>.events.jsonl for the serve layer's SSE tailer",
     )
     worker.set_defaults(handler=_cmd_worker)
 

@@ -27,7 +27,32 @@ from repro.api.service import SolveReport, solve
 from repro.api.specs import ScenarioSpec
 from repro.cluster.queue import WorkQueue
 from repro.store.report_store import ReportStore
+from repro.util.backoff import ExponentialBackoff
 from repro.util.errors import ConfigurationError
+
+
+def _stalled_batch_message(
+    waiting: Dict[str, List[int]], queue: WorkQueue, timeout: Optional[float]
+) -> str:
+    """What a stuck gather should tell the operator: who, and why.
+
+    Names the unfinished canonical keys (truncated, a bounded number)
+    and the queue's current state counts, so "the batch timed out"
+    becomes actionable — a deep ``pending`` count means no workers are
+    attached, a stuck ``claimed`` count means a worker died inside its
+    lease window, and the keys identify *which* specs to inspect.
+    """
+    missing = sorted(waiting)
+    shown = ", ".join(key[:12] + "…" for key in missing[:8])
+    if len(missing) > 8:
+        shown += f" (+{len(missing) - 8} more)"
+    counts = queue.counts()
+    return (
+        f"{len(missing)} report(s) still missing after {timeout}s "
+        f"[{shown}]; queue state: {counts['pending']} pending, "
+        f"{counts['claimed']} claimed, {counts['done']} done, "
+        f"{counts['failed']} failed — are workers attached to the queue?"
+    )
 
 
 def _coerce_queue(queue: Union[str, Path, WorkQueue]) -> WorkQueue:
@@ -52,9 +77,14 @@ async def as_reports_completed(
     Duplicate canonical keys resolve to one queued task; every input
     position is still yielded (sharing the completed report).  Raises
     ``TimeoutError`` when ``timeout`` seconds pass without the batch
-    finishing — e.g. no worker is attached to the queue — and
+    finishing — e.g. no worker is attached to the queue — naming the
+    unfinished canonical keys and the queue's state counts; raises
     ``RuntimeError`` when a worker dead-letters one of the batch's
     specs (its recorded error is included).
+
+    ``poll_seconds`` is the poll *floor*: consecutive empty polls back
+    off exponentially (capped) so an idle gather does not spin on the
+    store, and any landed report resets the interval to the floor.
     """
     if poll_seconds <= 0:
         raise ConfigurationError(f"poll_seconds must be positive, got {poll_seconds}")
@@ -63,6 +93,7 @@ async def as_reports_completed(
     specs = list(specs)
     if submit:
         queue.submit(specs, num_shards=num_shards)
+    backoff = ExponentialBackoff(poll_seconds)
 
     waiting: Dict[str, List[int]] = {}
     for index, spec in enumerate(specs):
@@ -111,11 +142,10 @@ async def as_reports_completed(
             if progressed:
                 continue
             if deadline is not None and time.monotonic() > deadline:
-                raise TimeoutError(
-                    f"{len(waiting)} report(s) still missing after {timeout}s — "
-                    "are workers attached to the queue?"
-                )
-            await asyncio.sleep(poll_seconds)
+                raise TimeoutError(_stalled_batch_message(waiting, queue, timeout))
+            await asyncio.sleep(backoff.next_delay())
+        else:
+            backoff.reset()
 
 
 async def solve_many_async(

@@ -20,7 +20,6 @@ from __future__ import annotations
 import os
 import subprocess
 import sys
-import time
 import uuid
 from contextlib import contextmanager
 from pathlib import Path
@@ -28,6 +27,7 @@ from typing import Dict, Iterator, List, Optional, Union
 
 from repro.cluster.queue import WorkQueue
 from repro.store.report_store import ReportStore
+from repro.util.backoff import ExponentialBackoff
 from repro.util.errors import ConfigurationError
 
 
@@ -44,6 +44,7 @@ def run_worker(
     max_tasks: Optional[int] = None,
     exit_when_empty: bool = False,
     lease_seconds: Optional[float] = None,
+    relay: Optional[Union[str, Path]] = None,
 ) -> Dict[str, int]:
     """Drain tasks from ``queue`` into ``store`` until told to stop.
 
@@ -57,13 +58,22 @@ def run_worker(
         Restrict claims to one shard (cooperating workers may also run
         unpinned and claim anything).
     poll_seconds:
-        Idle sleep between empty claim scans.
+        Idle-poll *floor* between empty claim scans.  Consecutive empty
+        scans back off exponentially (capped) so idle workers do not
+        burn CPU; any claimed task resets the interval to the floor.
     max_tasks:
         Stop after completing this many tasks (``None`` = unbounded).
     exit_when_empty:
         Return once the queue is fully drained (pending and claimed both
         empty) instead of polling forever — the batch-mode contract used
         by ``python -m repro.cluster drain``.
+    relay:
+        Directory of a :class:`repro.serve.relay.EventRelay`.  When set,
+        each solve streams its live engine events into the relay's
+        per-run JSONL channel (keyed on the task's canonical key) and
+        finishes the channel with an end marker — the bridge the serve
+        layer's SSE endpoint tails, letting clients watch a solve that
+        executes in *this* process from the server process.
 
     Returns counters: tasks completed, reports solved live, store hits.
     """
@@ -88,23 +98,43 @@ def run_worker(
 
     from repro.api.service import solve  # deferred: keep worker import light
 
+    event_relay = None
+    if relay is not None:
+        # Deferred too: the relay lives in the serve layer, and workers
+        # without telemetry streaming must not pull it in.
+        from repro.serve.relay import EventRelay
+
+        event_relay = relay if isinstance(relay, EventRelay) else EventRelay(relay)
+
     stats = {"completed": 0, "solved": 0, "store_hits": 0, "failed": 0}
+    backoff = ExponentialBackoff(poll_seconds)
     while True:
         queue.requeue_expired()
         task = queue.claim(worker_id, shard=shard)
         if task is None:
             if exit_when_empty and queue.is_drained():
                 break
-            time.sleep(poll_seconds)
+            backoff.sleep()
             continue
+        backoff.reset()
+        writer = (
+            event_relay.open_writer(task.key) if event_relay is not None else None
+        )
         try:
-            report = solve(task.spec, store=store)
+            report = solve(task.spec, store=store, on_event=writer)
         except Exception as exc:  # noqa: BLE001 - one bad spec must not kill the worker
             # Solves are deterministic, so retrying would crash the next
             # worker too: dead-letter the task and keep draining.
-            queue.fail(task, f"{type(exc).__name__}: {exc}")
+            error = f"{type(exc).__name__}: {exc}"
+            if writer is not None:
+                writer.finish("failed", error=error)
+            queue.fail(task, error)
             stats["failed"] += 1
             continue
+        if writer is not None:
+            # End marker *after* the store put inside solve(): a tailer
+            # that sees "end" can rely on the report being fetchable.
+            writer.finish("done", cached=report.cached)
         if report.cached:
             stats["store_hits"] += 1
         else:
@@ -124,6 +154,7 @@ def worker_command(
     exit_when_empty: bool = True,
     lease_seconds: Optional[float] = None,
     jobs: Optional[int] = None,
+    relay_root: Optional[Union[str, Path]] = None,
 ) -> List[str]:
     """The ``python -m repro.cluster worker`` argv for these settings."""
     cmd = [
@@ -146,6 +177,8 @@ def worker_command(
         cmd.extend(["--lease", str(lease_seconds)])
     if jobs is not None:
         cmd.extend(["--jobs", str(jobs)])
+    if relay_root is not None:
+        cmd.extend(["--relay", str(relay_root)])
     return cmd
 
 
@@ -159,6 +192,7 @@ def spawn_local_workers(
     exit_when_empty: bool = True,
     lease_seconds: Optional[float] = None,
     shutdown_timeout: Optional[float] = None,
+    relay_root: Optional[Union[str, Path]] = None,
 ) -> Iterator[List[subprocess.Popen]]:
     """Run ``num_workers`` subprocess workers against one queue + store.
 
@@ -188,6 +222,7 @@ def spawn_local_workers(
                 poll_seconds=poll_seconds,
                 exit_when_empty=exit_when_empty,
                 lease_seconds=lease_seconds,
+                relay_root=relay_root,
             )
             procs.append(subprocess.Popen(cmd, env=env))
         yield procs

@@ -44,7 +44,7 @@ pre-refactor loop (asserted in ``tests/test_engine_equivalence.py``).
 
 from repro.core.engine.batch import BatchedOracleFront
 from repro.core.engine.driver import EngineRun, PhaseEngine
-from repro.core.engine.instrumentation import EngineEvent, Instrumentation
+from repro.core.engine.instrumentation import EngineEvent, Instrumentation, event_tap
 from repro.core.engine.ledger import (
     TreeLedger,
     configure_stacked_trees,
@@ -73,6 +73,7 @@ __all__ = [
     "stacked_trees_default",
     "Instrumentation",
     "EngineEvent",
+    "event_tap",
     "StepPolicy",
     "StoppingRule",
     "StepRequest",

@@ -21,10 +21,55 @@ everything as a plain-JSON dict that rides on
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 ENGINE_SCHEMA = "PhaseEngine/v2"
+
+# ----------------------------------------------------------------------
+# event taps: externally-installed listeners for engines a caller does
+# not construct itself
+# ----------------------------------------------------------------------
+# Solvers build their own PhaseEngine (and hence their own
+# Instrumentation), so a caller holding only a ScenarioSpec has no
+# object to hang a listener on.  A *tap* closes that gap: any listener
+# installed via ``event_tap`` is copied into every Instrumentation
+# created afterwards **in the same thread**, for the duration of the
+# ``with`` block.  Thread-locality is the isolation boundary — the serve
+# layer runs concurrent solves on separate worker threads, and each
+# run's telemetry must reach only its own relay channel.  Events are
+# plain-JSON-serializable (:meth:`EngineEvent.to_jsonable`), so a tap
+# can ship them across a process boundary (the serve relay's JSONL
+# channel) without seeing live engine objects.
+_TAP_STATE = threading.local()
+
+
+def _thread_taps() -> List[Callable[["EngineEvent"], None]]:
+    taps = getattr(_TAP_STATE, "stack", None)
+    if taps is None:
+        taps = []
+        _TAP_STATE.stack = taps
+    return taps
+
+
+@contextmanager
+def event_tap(
+    listener: Callable[["EngineEvent"], None],
+) -> Iterator[Callable[["EngineEvent"], None]]:
+    """Attach ``listener`` to every engine run started in this thread.
+
+    Live events reach the listener even past the bounded log's capacity
+    (dropped-from-log events are still fanned out), so a streaming
+    consumer observes the full run regardless of ``max_events``.
+    """
+    taps = _thread_taps()
+    taps.append(listener)
+    try:
+        yield listener
+    finally:
+        taps.remove(listener)
 
 
 @dataclass(frozen=True)
@@ -81,7 +126,9 @@ class Instrumentation:
         self._events: List[EngineEvent] = []
         self._max_events = int(max_events)
         self._dropped_events = 0
-        self._listeners: List[Callable[[EngineEvent], None]] = []
+        # Taps installed in this thread (see event_tap) observe the run
+        # from its first event; add_listener appends run-specific ones.
+        self._listeners: List[Callable[[EngineEvent], None]] = list(_thread_taps())
 
     # ------------------------------------------------------------------
     # emission

@@ -1,0 +1,58 @@
+"""Solve-as-a-service: an HTTP front end over the spec/report pipeline.
+
+``repro.serve`` turns the declarative API (:mod:`repro.api`) into a
+long-running, stdlib-only service: clients ``POST`` ScenarioSpec JSON
+and get back the spec's ``canonical_key`` as a ticket, poll
+``/v1/reports/{key}`` for the stored :class:`SolveReport` (warm keys
+answer instantly from the content-addressed store, with zero solver
+work), and watch live engine telemetry over Server-Sent Events at
+``/v1/runs/{key}/events``.  Admission control (per-client priority
+queues, high-water shedding to 429) keeps the service responsive under
+load; ``/v1/status`` exposes the backpressure signals.
+
+Layers, inside-out:
+
+* :mod:`repro.serve.admission` — bounded prioritised submission queue.
+* :mod:`repro.serve.relay` — per-run JSONL event channels bridging the
+  solving process (inline thread or cluster worker) to SSE tailers.
+* :mod:`repro.serve.app` — the transport-independent service core.
+* :mod:`repro.serve.routes` — the HTTP layer (ThreadingHTTPServer).
+* ``python -m repro.serve`` — the CLI entry point.
+
+See the README "Serving" section for the endpoint reference and a curl
+quickstart, and ``examples/serve_dashboard.py`` for an end-to-end
+client.
+"""
+
+from repro.serve.admission import (
+    DEFAULT_HIGH_WATER,
+    AdmissionController,
+    AdmissionShed,
+)
+from repro.serve.app import SERVICE_SCHEMA, RunRecord, ServeApp, ServeConfig
+from repro.serve.relay import EventRelay, RelayWriter
+from repro.serve.routes import ServeHTTPServer, make_server
+from repro.serve.sse import (
+    SSE_CONTENT_TYPE,
+    format_sse,
+    parse_sse_line,
+    sse_frames,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionShed",
+    "DEFAULT_HIGH_WATER",
+    "EventRelay",
+    "RelayWriter",
+    "RunRecord",
+    "SERVICE_SCHEMA",
+    "SSE_CONTENT_TYPE",
+    "ServeApp",
+    "ServeConfig",
+    "ServeHTTPServer",
+    "format_sse",
+    "make_server",
+    "parse_sse_line",
+    "sse_frames",
+]

@@ -1,0 +1,78 @@
+"""Server-Sent Events wire formatting (RFC-less but universal).
+
+SSE is the simplest streaming transport that works through plain HTTP —
+one long-lived ``text/event-stream`` response, events separated by blank
+lines — which keeps the serve layer stdlib-only on both ends
+(``EventSource`` in browsers, a line loop over ``urllib`` elsewhere).
+
+An event on the wire::
+
+    event: congestion
+    data: {"kind":"congestion","max_congestion":1.25,"step":42}
+
+    ``event:`` carries the engine event kind (``oracle`` / ``phase`` /
+    ``congestion`` / ``end`` ...), ``data:`` the canonical-JSON payload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.util.serialization import canonical_json
+
+SSE_CONTENT_TYPE = "text/event-stream"
+
+
+def format_sse(payload: Dict[str, Any], event: Optional[str] = None) -> bytes:
+    """One SSE frame: optional ``event:`` name plus a JSON ``data:`` line.
+
+    The payload is canonical JSON (single line by construction), so the
+    multi-line ``data:`` continuation rules never come into play.
+    """
+    head = f"event: {event}\n" if event else ""
+    return (head + f"data: {canonical_json(payload)}\n\n").encode("utf-8")
+
+
+def sse_frames(
+    events: Iterable[Dict[str, Any]],
+    timed_out_event: Optional[Dict[str, Any]] = None,
+) -> Iterator[bytes]:
+    """Frame a relay event stream for the wire.
+
+    Each event dict's ``kind`` becomes the SSE event name.  If the
+    source ends without an ``end`` marker (tailer timeout) and
+    ``timed_out_event`` is given, it is emitted as a final ``timeout``
+    frame so clients can distinguish "run over" from "stream gave up".
+    """
+    saw_end = False
+    for payload in events:
+        kind = payload.get("kind") or "message"
+        if kind == "end":
+            saw_end = True
+        yield format_sse(payload, event=str(kind))
+    if not saw_end and timed_out_event is not None:
+        yield format_sse(timed_out_event, event="timeout")
+
+
+def parse_sse_line(raw: bytes, state: Dict[str, Any]) -> Optional[Tuple[str, str]]:
+    """Incremental client-side parser for one SSE line.
+
+    Feed decoded wire lines in order with a shared mutable ``state``
+    dict; returns ``(event_name, data)`` when a blank line completes a
+    frame, else ``None``.  Used by the example dashboard client and the
+    tests — kept here so client and server agree on the framing.
+    """
+    line = raw.decode("utf-8", errors="replace").rstrip("\r\n")
+    if line == "":
+        if "data" in state:
+            frame = (state.get("event", "message"), state["data"])
+            state.clear()
+            return frame
+        state.clear()
+        return None
+    if line.startswith("event:"):
+        state["event"] = line[len("event:") :].strip()
+    elif line.startswith("data:"):
+        chunk = line[len("data:") :].strip()
+        state["data"] = state.get("data", "") + chunk
+    return None

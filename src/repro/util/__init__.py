@@ -12,6 +12,7 @@ from repro.util.errors import (
     InfeasibleProblemError,
     ConfigurationError,
 )
+from repro.util.backoff import ExponentialBackoff
 from repro.util.rng import ensure_rng, spawn_rngs
 from repro.util.tables import format_table, format_kv
 from repro.util.cdf import cumulative_distribution, normalized_rank_cdf
@@ -23,6 +24,7 @@ __all__ = [
     "InvalidSessionError",
     "InfeasibleProblemError",
     "ConfigurationError",
+    "ExponentialBackoff",
     "ensure_rng",
     "spawn_rngs",
     "format_table",
