@@ -12,7 +12,9 @@ Subcommands
     ``REPRO_STORE``), making repeated runs of solved specs near-free;
     ``--verbose`` prints each report's phase-engine instrumentation
     (phases, oracle calls, batched versus per-session oracle time) to
-    stderr.
+    stderr; ``--trace out.json`` records the run as a Chrome
+    trace-event file (open in Perfetto / ``chrome://tracing``, or
+    summarise with ``python -m repro.obs summary``).
 
 ``cache stats|prune``
     Inspect or trim a persistent report store: ``stats`` prints entry
@@ -101,13 +103,17 @@ def _describe_instrumentation(report: SolveReport) -> str:
         )
     retained = len(instr.get("events", []))
     dropped = instr.get("dropped_events", 0)
+    # Older reports predate the fanned-out/lost split; fall back to
+    # attributing the whole legacy count to the bounded log.
+    fanned = instr.get("dropped_fanned_out", dropped)
+    lost = instr.get("lost_events", 0)
+    detail = ""
+    if fanned:
+        detail += f"; {fanned} fanned out to live listeners only"
+    if lost:
+        detail += f"; {lost} lost entirely (no listener attached)"
     lines.append(
-        f"  events: {retained} retained, {dropped} dropped past the log bound"
-        + (
-            " (live listeners — e.g. the serve SSE relay — still saw them)"
-            if dropped
-            else ""
-        )
+        f"  events: {retained} retained, {dropped} dropped past the log bound{detail}"
     )
     if instr.get("max_congestion", 0.0) > 0:
         lines.append(f"  max congestion seen: {instr['max_congestion']:.6g}")
@@ -146,10 +152,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
     specs: List[ScenarioSpec] = []
     for spec_path in args.specs:
         specs.extend(_load_specs(Path(spec_path)))
+    if args.trace:
+        from repro.obs.tracing import trace_to
+
+        if args.jobs is not None and args.jobs != 1:
+            # The tracer is thread-local: pool workers run in separate
+            # processes and escape it, so only the parent is recorded.
+            print(
+                "note: --trace with --jobs > 1 only records the parent "
+                "process; use `cluster worker --trace-dir` plus "
+                "`python -m repro.obs merge` for multi-process traces",
+                file=sys.stderr,
+            )
+        tracer_cm = trace_to(args.trace, process_name="repro.api run")
+    else:
+        from contextlib import nullcontext
+
+        tracer_cm = nullcontext()
     # Install --jobs as the process-wide default too (so e.g. the
     # MaxConcurrentFlow pre-scaling picks it up), restoring afterwards
     # for in-process callers of main().
-    with jobs_context(args.jobs):
+    with jobs_context(args.jobs), tracer_cm:
         reports = solve_many(
             specs,
             jobs=args.jobs,
@@ -256,6 +279,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="print engine instrumentation per report to stderr "
         "(phases, oracle calls, batched vs per-session oracle time)",
+    )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="record the run as a Chrome trace-event file (view in "
+        "Perfetto or summarise with `python -m repro.obs summary`)",
     )
     run.set_defaults(handler=_cmd_run)
 

@@ -38,6 +38,8 @@ from repro.api.registry import Registry, default_registry
 from repro.api.specs import ScenarioSpec, SessionSpec
 from repro.core.engine.instrumentation import event_tap
 from repro.core.result import FlowSolution, SessionResult, TreeFlow
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracing import Tracer, maybe_span
 from repro.overlay.session import Session
 from repro.overlay.tree import OverlayTree
 from repro.routing.base import RoutingModel, pair_key
@@ -70,18 +72,20 @@ def build_instance(
     """
     reg = registry or default_registry()
     key = spec.instance_key
-    if registry is None and key in _instance_cache:
-        _instance_cache.move_to_end(key)
-        return _instance_cache[key]
-    network = spec.topology.build(reg)
-    sessions = spec.workload.build(network)
-    routing = reg.build_routing(network, spec.routing)
-    instance = (network, sessions, routing)
-    if registry is None:
-        _instance_cache[key] = instance
-        while len(_instance_cache) > _INSTANCE_CACHE_LIMIT:
-            _instance_cache.popitem(last=False)
-    return instance
+    with maybe_span("build_instance", instance=key[:12]) as span:
+        if registry is None and key in _instance_cache:
+            _instance_cache.move_to_end(key)
+            span.set(cached=True)
+            return _instance_cache[key]
+        network = spec.topology.build(reg)
+        sessions = spec.workload.build(network)
+        routing = reg.build_routing(network, spec.routing)
+        instance = (network, sessions, routing)
+        if registry is None:
+            _instance_cache[key] = instance
+            while len(_instance_cache) > _INSTANCE_CACHE_LIMIT:
+                _instance_cache.popitem(last=False)
+        return instance
 
 
 def solve_instance(
@@ -246,9 +250,10 @@ def _solve_uncached(
         # built network/sessions serve every ordering/replication variant.
         sessions = spec.arrivals.apply(sessions)
     start = time.perf_counter()
-    solution = solve_instance(
-        spec.solver, sessions, routing, spec.solver_params, registry
-    )
+    with maybe_span("solve_instance", solver=spec.solver):
+        solution = solve_instance(
+            spec.solver, sessions, routing, spec.solver_params, registry
+        )
     wall = time.perf_counter() - start
     return SolveReport(
         spec=spec,
@@ -258,11 +263,20 @@ def _solve_uncached(
     )
 
 
+def _solve_outcome_counter(outcome: str):
+    return obs_metrics.registry().counter(
+        "repro_solve_total",
+        "solve()/solve_many() results by cache-chain outcome",
+        labels={"outcome": outcome},
+    )
+
+
 def solve(
     spec: ScenarioSpec,
     registry: Optional[Registry] = None,
     store: StoreLike = None,
     on_event: Optional[Callable[..., None]] = None,
+    trace: Optional[Any] = None,
 ) -> SolveReport:
     """Solve one declarative scenario and return its report.
 
@@ -286,22 +300,51 @@ def solve(
     fires — including events the bounded per-run log drops.  This is the
     hook the serve layer's telemetry relay (and the queue workers) ride;
     a store hit performs no engine work and therefore emits no events.
+
+    ``trace`` opts into hierarchical wall-clock spans
+    (``solve`` → ``build_instance`` → ``solve_instance`` →
+    ``engine.step`` → ``oracle_round``): pass an output path to write a
+    Chrome trace-event file for that one solve, or a live
+    :class:`repro.obs.tracing.Tracer` to accumulate spans across calls
+    (the caller saves).  Tracing never changes solver behaviour — the
+    solution is bit-identical with it on or off.
     """
+    if trace is not None:
+        tracer = trace if isinstance(trace, Tracer) else Tracer()
+        with tracer.activate():
+            report = _solve_impl(spec, registry, store, on_event)
+        if not isinstance(trace, Tracer):
+            tracer.save(trace)
+        return report
+    return _solve_impl(spec, registry, store, on_event)
+
+
+def _solve_impl(
+    spec: ScenarioSpec,
+    registry: Optional[Registry],
+    store: StoreLike,
+    on_event: Optional[Callable[..., None]],
+) -> SolveReport:
     global _store_hits
-    resolved = resolve_store(store) if registry is None else None
-    if resolved is not None:
-        hit = resolved.get(spec.canonical_key)
-        if hit is not None:
-            _store_hits += 1
-            return dataclasses.replace(hit, cached=True)
-    if on_event is not None:
-        with event_tap(on_event):
+    with maybe_span("solve", solver=spec.solver, key=spec.canonical_key[:12]) as span:
+        resolved = resolve_store(store) if registry is None else None
+        if resolved is not None:
+            hit = resolved.get(spec.canonical_key)
+            if hit is not None:
+                _store_hits += 1
+                _solve_outcome_counter("store").inc()
+                span.set(outcome="store")
+                return dataclasses.replace(hit, cached=True)
+        if on_event is not None:
+            with event_tap(on_event):
+                report = _solve_uncached(spec, registry)
+        else:
             report = _solve_uncached(spec, registry)
-    else:
-        report = _solve_uncached(spec, registry)
-    if resolved is not None:
-        resolved.put(report)
-    return report
+        _solve_outcome_counter("cold").inc()
+        span.set(outcome="cold")
+        if resolved is not None:
+            resolved.put(report)
+        return report
 
 
 # ----------------------------------------------------------------------
@@ -368,6 +411,7 @@ def solve_many(
                 persisted = resolved_store.get(key)
                 if persisted is not None:
                     _store_hits += 1
+                    _solve_outcome_counter("store").inc()
                     _report_cache[key] = persisted
                     _report_cache.move_to_end(key)
                     del fresh_keys[key]
@@ -381,8 +425,19 @@ def solve_many(
         with ProcessPoolExecutor(max_workers=workers) as pool:
             solved = list(pool.map(_solve_jsonable_cell, payloads))
     else:
-        solved = [_solve_uncached(spec) for spec in tasks]
+        solved = []
+        for spec in tasks:
+            # One top-level span per spec, so a traced batch run nests
+            # the same way a single solve() does (pool workers run in
+            # other processes and escape the thread-local tracer).
+            with maybe_span(
+                "solve", solver=spec.solver, key=spec.canonical_key[:12]
+            ) as span:
+                solved.append(_solve_uncached(spec))
+                span.set(outcome="cold")
     _cache_misses += len(solved)
+    if solved:
+        _solve_outcome_counter("cold").inc(len(solved))
     if resolved_store is not None:
         for report in solved:
             resolved_store.put(report)
@@ -406,6 +461,7 @@ def solve_many(
                 source = _report_cache[key]
                 _report_cache.move_to_end(key)  # LRU, not FIFO: refresh on hit
                 _cache_hits += 1
+                _solve_outcome_counter("report_cache").inc()
                 served_this_call[key] = source
             report = SolveReport(
                 spec=spec,

@@ -70,6 +70,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             max_tasks=args.max_tasks,
             exit_when_empty=args.exit_when_empty,
             relay=args.relay,
+            trace_dir=args.trace_dir,
         )
     print(
         f"worker done: {stats['completed']} task(s) "
@@ -163,6 +164,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="event-relay directory: stream each solve's engine events "
         "to <relay>/<key>.events.jsonl for the serve layer's SSE tailer",
+    )
+    worker.add_argument(
+        "--trace-dir",
+        default=None,
+        help="write one Chrome trace-event file per solved task to "
+        "<dir>/<key>.trace.json (stitch with `python -m repro.obs merge`)",
     )
     worker.set_defaults(handler=_cmd_worker)
 

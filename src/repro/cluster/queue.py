@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.api.specs import ScenarioSpec
 from repro.cluster.sharding import shard_of
+from repro.obs import metrics as obs_metrics
 from repro.util.errors import ConfigurationError
 from repro.util.serialization import atomic_write_bytes
 
@@ -73,6 +74,9 @@ class ClaimedTask:
     shard: int
     payload: Dict[str, Any]
     worker: str = ""
+    # Wall-clock claim time (0.0 for hand-built tasks); lets complete()
+    # observe the claim→complete latency without re-reading the lease.
+    claimed_at: float = 0.0
 
     @property
     def spec(self) -> ScenarioSpec:
@@ -227,6 +231,9 @@ class WorkQueue:
                     pass
                 self._drop_lease(name)
                 continue
+            obs_metrics.registry().counter(
+                "repro_queue_claims_total", "Tasks claimed from the queue"
+            ).inc()
             return ClaimedTask(
                 name=name,
                 key=payload["key"],
@@ -235,6 +242,7 @@ class WorkQueue:
                 shard=_shard_of_task_name(name),
                 payload=payload,
                 worker=worker_id,
+                claimed_at=now,
             )
         return None
 
@@ -266,6 +274,13 @@ class WorkQueue:
             # a success, not an error.
             pass
         self._drop_lease(task.name)
+        reg = obs_metrics.registry()
+        reg.counter("repro_queue_completes_total", "Tasks completed").inc()
+        if task.claimed_at:
+            reg.histogram(
+                "repro_queue_claim_to_complete_seconds",
+                "Latency from claim to complete (seconds)",
+            ).observe(max(0.0, time.time() - task.claimed_at))
 
     def release(self, task: ClaimedTask) -> None:
         """Voluntarily hand a claimed task back to ``pending/``."""
@@ -396,6 +411,11 @@ class WorkQueue:
                 continue  # racing scavenger/completer got there first
             self._drop_lease(name)
             moved += 1
+        if moved:
+            obs_metrics.registry().counter(
+                "repro_queue_lease_expirations_total",
+                "Lapsed claims returned to pending",
+            ).inc(moved)
         return moved
 
     def _read_lease(self, name: str) -> Optional[Dict[str, Any]]:

@@ -45,6 +45,7 @@ def run_worker(
     exit_when_empty: bool = False,
     lease_seconds: Optional[float] = None,
     relay: Optional[Union[str, Path]] = None,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, int]:
     """Drain tasks from ``queue`` into ``store`` until told to stop.
 
@@ -74,6 +75,12 @@ def run_worker(
         finishes the channel with an end marker — the bridge the serve
         layer's SSE endpoint tails, letting clients watch a solve that
         executes in *this* process from the server process.
+    trace_dir:
+        When set, every task's solve runs under a fresh
+        :class:`repro.obs.tracing.Tracer` and its span tree is written to
+        ``<trace_dir>/<canonical_key>.trace.json`` — one Chrome
+        trace-event file per run, next to the relay channels in spirit.
+        Stitch multi-worker runs with ``python -m repro.obs merge``.
 
     Returns counters: tasks completed, reports solved live, store hits.
     """
@@ -120,8 +127,13 @@ def run_worker(
         writer = (
             event_relay.open_writer(task.key) if event_relay is not None else None
         )
+        trace_path = (
+            Path(trace_dir) / f"{task.key}.trace.json"
+            if trace_dir is not None
+            else None
+        )
         try:
-            report = solve(task.spec, store=store, on_event=writer)
+            report = solve(task.spec, store=store, on_event=writer, trace=trace_path)
         except Exception as exc:  # noqa: BLE001 - one bad spec must not kill the worker
             # Solves are deterministic, so retrying would crash the next
             # worker too: dead-letter the task and keep draining.
@@ -155,6 +167,7 @@ def worker_command(
     lease_seconds: Optional[float] = None,
     jobs: Optional[int] = None,
     relay_root: Optional[Union[str, Path]] = None,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> List[str]:
     """The ``python -m repro.cluster worker`` argv for these settings."""
     cmd = [
@@ -179,6 +192,8 @@ def worker_command(
         cmd.extend(["--jobs", str(jobs)])
     if relay_root is not None:
         cmd.extend(["--relay", str(relay_root)])
+    if trace_dir is not None:
+        cmd.extend(["--trace-dir", str(trace_dir)])
     return cmd
 
 

@@ -27,6 +27,7 @@ from repro.core.engine.instrumentation import Instrumentation
 from repro.core.engine.ledger import TreeLedger, stacked_trees_default
 from repro.core.engine.strategies import RouteAction, StepPolicy, StoppingRule
 from repro.core.lengths import LengthFunction
+from repro.obs.tracing import maybe_span
 from repro.core.result import SessionFlowAccumulator
 from repro.overlay.oracle import MinimumOverlayTreeOracle, OracleResult
 from repro.overlay.session import Session
@@ -211,52 +212,68 @@ class PhaseEngine:
         if self._step_cap is not None and self._steps > self._step_cap:
             raise ConvergenceError(self._cap_message)
 
-        if request.prefetched is not None:
-            # The policy already holds this step's results from an
-            # earlier grouped round (stacked online path); no oracle
-            # work happens, so no query round is recorded.
-            results = list(request.prefetched)
-        else:
-            if request.batched and self._batch_enabled and self._front is None:
-                self._front = BatchedOracleFront(self._oracles, ledger=self._ledger)
-            batched = (
-                request.batched
-                and self._front is not None
-                and self._front.supports(request.indices)
-            )
-            start = time.perf_counter()
-            if batched:
-                results = self._front.query(request.indices, self._lengths.relative)
-                if self._front.uses_ledger:
-                    self._instr.spmm_rounds += 1
-            elif (
-                self._ledger is not None
-                and len(request.indices) > 1
-                and all(self._oracles[i].is_fixed for i in request.indices)
-            ):
-                results = self._stacked_round(request.indices)
-                self._instr.spmm_rounds += 1
+        # When no tracer is active (the default), maybe_span returns a
+        # shared no-op — the step loop pays one function call, which the
+        # obs_overhead BENCH section keeps under its 3% bound.
+        with maybe_span("engine.step", step=self._steps):
+            if request.prefetched is not None:
+                # The policy already holds this step's results from an
+                # earlier grouped round (stacked online path); no oracle
+                # work happens, so no query round is recorded.
+                results = list(request.prefetched)
             else:
-                results = [
-                    (index, self._oracles[index].minimum_tree(self._lengths.relative))
-                    for index in request.indices
-                ]
-            self._instr.oracle_round(
-                queries=len(request.indices),
-                batched=batched,
-                seconds=time.perf_counter() - start,
-                step=self._steps,
-            )
+                if request.batched and self._batch_enabled and self._front is None:
+                    self._front = BatchedOracleFront(self._oracles, ledger=self._ledger)
+                batched = (
+                    request.batched
+                    and self._front is not None
+                    and self._front.supports(request.indices)
+                )
+                with maybe_span(
+                    "oracle_round",
+                    queries=len(request.indices),
+                    batched=bool(batched),
+                ):
+                    start = time.perf_counter()
+                    if batched:
+                        results = self._front.query(
+                            request.indices, self._lengths.relative
+                        )
+                        if self._front.uses_ledger:
+                            self._instr.spmm_rounds += 1
+                    elif (
+                        self._ledger is not None
+                        and len(request.indices) > 1
+                        and all(self._oracles[i].is_fixed for i in request.indices)
+                    ):
+                        results = self._stacked_round(request.indices)
+                        self._instr.spmm_rounds += 1
+                    else:
+                        results = [
+                            (
+                                index,
+                                self._oracles[index].minimum_tree(
+                                    self._lengths.relative
+                                ),
+                            )
+                            for index in request.indices
+                        ]
+                    self._instr.oracle_round(
+                        queries=len(request.indices),
+                        batched=batched,
+                        seconds=time.perf_counter() - start,
+                        step=self._steps,
+                    )
 
-        selection = self._policy.select(self, results)
-        if self._stopping.after_selection(self, selection):
-            self._stopped = True
-            return None
+            selection = self._policy.select(self, results)
+            if self._stopping.after_selection(self, selection):
+                self._stopped = True
+                return None
 
-        action = self._policy.route(self, selection)
-        self._apply(action)
-        self._policy.on_routed(self, action)
-        return action
+            action = self._policy.route(self, selection)
+            self._apply(action)
+            self._policy.on_routed(self, action)
+            return action
 
     def run(self) -> EngineRun:
         """Run steps until the stopping rule or the policy ends the loop."""

@@ -28,6 +28,11 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 ENGINE_SCHEMA = "PhaseEngine/v2"
 
+# Default bound on the retained event log.  Solver configs expose
+# ``max_events`` so callers can widen (or zero out) the log per run
+# instead of being pinned to this process-wide default.
+DEFAULT_MAX_EVENTS = 256
+
 # ----------------------------------------------------------------------
 # event taps: externally-installed listeners for engines a caller does
 # not construct itself
@@ -105,7 +110,7 @@ class Instrumentation:
     congestion evolve without the engine growing bespoke hooks.
     """
 
-    def __init__(self, max_events: int = 256) -> None:
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
         if max_events < 0:
             raise ValueError(f"max_events must be >= 0, got {max_events}")
         self.steps = 0
@@ -125,7 +130,13 @@ class Instrumentation:
         self.spmm_rounds = 0
         self._events: List[EngineEvent] = []
         self._max_events = int(max_events)
-        self._dropped_events = 0
+        # Two flavours of "the bounded log did not retain this event":
+        # fanned-out events were still constructed and delivered to live
+        # listeners (a streaming consumer saw them); lost events were
+        # never constructed at all (no listener, log full).
+        self._dropped_fanned_out = 0
+        self._lost_events = 0
+        self._metrics_published = False
         # Taps installed in this thread (see event_tap) observe the run
         # from its first event; add_listener appends run-specific ones.
         self._listeners: List[Callable[[EngineEvent], None]] = list(_thread_taps())
@@ -146,13 +157,13 @@ class Instrumentation:
         past the log bound.
         """
         if len(self._events) >= self._max_events and not self._listeners:
-            self._dropped_events += 1
+            self._lost_events += 1
             return None
         event = EngineEvent(kind=kind, step=step, payload=dict(payload))
         if len(self._events) < self._max_events:
             self._events.append(event)
         else:
-            self._dropped_events += 1
+            self._dropped_fanned_out += 1
         for listener in self._listeners:
             listener(event)
         return event
@@ -191,8 +202,22 @@ class Instrumentation:
 
     @property
     def dropped_events(self) -> int:
-        """Events beyond the bounded log's capacity (counted, not kept)."""
-        return self._dropped_events
+        """Events beyond the bounded log's capacity (counted, not kept).
+
+        The sum of :attr:`dropped_fanned_out` and :attr:`lost_events` —
+        kept as the back-compatible total.
+        """
+        return self._dropped_fanned_out + self._lost_events
+
+    @property
+    def dropped_fanned_out(self) -> int:
+        """Events the bounded log dropped but listeners still received."""
+        return self._dropped_fanned_out
+
+    @property
+    def lost_events(self) -> int:
+        """Events lost entirely: log full and no listener to fan out to."""
+        return self._lost_events
 
     def snapshot(self) -> Dict[str, Any]:
         """Plain-JSON summary: all counters plus the retained events.
@@ -200,7 +225,14 @@ class Instrumentation:
         The dict round-trips through JSON without type drift (ints stay
         ints, floats stay floats), so persisted reports compare equal to
         fresh ones byte-for-byte.
+
+        The first snapshot also publishes the run's counters to the
+        process-wide metrics registry (:mod:`repro.obs.metrics`) — the
+        "registry tap": solvers snapshot exactly once when assembling
+        their solution, so engine metrics flow without any new branch in
+        the step loop.
         """
+        self.publish_metrics()
         return {
             "engine": ENGINE_SCHEMA,
             "steps": int(self.steps),
@@ -214,6 +246,71 @@ class Instrumentation:
             "ledger_columns": int(self.ledger_columns),
             "spmm_rounds": int(self.spmm_rounds),
             "max_congestion": float(self.max_congestion),
-            "dropped_events": int(self._dropped_events),
+            "dropped_events": int(self.dropped_events),
+            "dropped_fanned_out": int(self._dropped_fanned_out),
+            "lost_events": int(self._lost_events),
             "events": [event.to_jsonable() for event in self._events],
         }
+
+    def publish_metrics(self) -> None:
+        """Publish this run's counters to the process metrics registry.
+
+        Idempotent per instance (repeated snapshots add nothing), a
+        no-op under ``REPRO_METRICS=0``, and deliberately *not* called
+        from the step loop — aggregate engine metrics cost zero hot-loop
+        work.
+        """
+        if self._metrics_published:
+            return
+        self._metrics_published = True
+        from repro.obs import metrics as obs_metrics
+
+        reg = obs_metrics.registry()
+        if not reg.enabled:
+            return
+        reg.counter(
+            "repro_engine_runs_total", "Engine runs snapshotted"
+        ).inc()
+        reg.counter("repro_engine_steps_total", "Engine steps executed").inc(
+            self.steps
+        )
+        reg.counter(
+            "repro_engine_oracle_queries_total", "Oracle calls issued"
+        ).inc(self.oracle_queries)
+        reg.counter(
+            "repro_engine_oracle_rounds_total",
+            "Oracle query rounds by front",
+            labels={"front": "batched"},
+        ).inc(self.batched_rounds)
+        reg.counter(
+            "repro_engine_oracle_rounds_total",
+            "Oracle query rounds by front",
+            labels={"front": "per_session"},
+        ).inc(self.per_session_rounds)
+        reg.counter(
+            "repro_engine_oracle_seconds_total",
+            "Wall seconds inside oracle rounds by front",
+            labels={"front": "batched"},
+        ).inc(self.batched_oracle_seconds)
+        reg.counter(
+            "repro_engine_oracle_seconds_total",
+            "Wall seconds inside oracle rounds by front",
+            labels={"front": "per_session"},
+        ).inc(self.per_session_oracle_seconds)
+        reg.counter(
+            "repro_engine_length_updates_total", "Per-step length updates"
+        ).inc(self.length_updates)
+        reg.counter(
+            "repro_engine_events_dropped_total",
+            "Events not retained by the bounded log",
+            labels={"fate": "fanned_out"},
+        ).inc(self._dropped_fanned_out)
+        reg.counter(
+            "repro_engine_events_dropped_total",
+            "Events not retained by the bounded log",
+            labels={"fate": "lost"},
+        ).inc(self._lost_events)
+        reg.gauge(
+            "repro_engine_ledger_columns",
+            "Distinct tree columns in the last run's stacked ledger",
+        ).set(self.ledger_columns)

@@ -29,6 +29,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.engine import ConcurrentPhasePolicy, DualObjectiveStop, PhaseEngine
+from repro.core.engine.instrumentation import Instrumentation
 from repro.core.lengths import LengthFunction, epsilon_for_ratio
 from repro.core.maxflow import MaxFlow, MaxFlowConfig
 from repro.core.result import FlowSolution, SessionResult, TreeFlow
@@ -73,6 +74,10 @@ class MaxConcurrentFlowConfig:
         length flushes) in the main run and the pre-scaling MaxFlow
         runs.  ``None`` = process default (on).  Purely a performance
         switch; results are bit-identical either way.
+    max_events:
+        Bound on the main run's retained instrumentation event log
+        (``None`` = engine default).  Telemetry capacity only; never
+        changes the solution.
     """
 
     epsilon: Optional[float] = None
@@ -82,6 +87,7 @@ class MaxConcurrentFlowConfig:
     memoize: Optional[bool] = None
     prescale_jobs: Optional[int] = None
     stacked_trees: Optional[bool] = None
+    max_events: Optional[int] = None
 
     def resolved_epsilon(self) -> float:
         """The epsilon actually used (resolving the ratio form)."""
@@ -250,6 +256,11 @@ class MaxConcurrentFlow:
             step_cap=step_cap,
             cap_message=f"MaxConcurrentFlow exceeded the step cap of {step_cap}",
             stacked_trees=self._config.stacked_trees,
+            instrumentation=(
+                Instrumentation(max_events=self._config.max_events)
+                if self._config.max_events is not None
+                else None
+            ),
         )
         run = engine.run()
         steps = run.steps

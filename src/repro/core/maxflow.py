@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.engine import MaxFlowPolicy, NormalizedLengthStop, PhaseEngine
+from repro.core.engine.instrumentation import Instrumentation
 from repro.core.lengths import LengthFunction, epsilon_for_ratio
 from repro.core.result import FlowSolution, SessionResult
 from repro.overlay.oracle import MinimumOverlayTreeOracle, build_oracles
@@ -66,6 +67,10 @@ class MaxFlowConfig:
         updates flush as one deduplicated batch per step.  ``None`` =
         process default (on).  Purely a performance switch; results are
         bit-identical either way.
+    max_events:
+        Bound on the run's retained instrumentation event log (``None``
+        = engine default).  Telemetry capacity only; never changes the
+        solution.
     """
 
     epsilon: Optional[float] = None
@@ -74,6 +79,7 @@ class MaxFlowConfig:
     memoize: Optional[bool] = None
     batch_oracle: Optional[bool] = None
     stacked_trees: Optional[bool] = None
+    max_events: Optional[int] = None
 
     def resolved_epsilon(self) -> float:
         """The epsilon actually used (resolving the ratio form)."""
@@ -150,6 +156,11 @@ class MaxFlow:
             cap_message=f"MaxFlow exceeded the iteration cap of {iteration_cap}",
             batch_oracle=self._config.batch_oracle,
             stacked_trees=self._config.stacked_trees,
+            instrumentation=(
+                Instrumentation(max_events=self._config.max_events)
+                if self._config.max_events is not None
+                else None
+            ),
         )
         run = engine.run()
         iterations = run.steps

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.engine import OnlineArrivalPolicy, PhaseEngine, RunToExhaustion
+from repro.core.engine.instrumentation import Instrumentation
 from repro.core.lengths import LengthFunction
 from repro.core.result import FlowSolution, SessionResult, TreeFlow
 from repro.overlay.oracle import MinimumOverlayTreeOracle
@@ -58,12 +59,17 @@ class OnlineConfig:
         a single ledger product.  ``None`` = process default (on).
         Purely a performance switch; results are bit-identical either
         way.
+    max_events:
+        Bound on the run's retained instrumentation event log (``None``
+        = engine default).  Telemetry capacity only; never changes the
+        routing decisions.
     """
 
     sigma: float = 10.0
     apply_no_bottleneck_scaling: bool = False
     memoize: Optional[bool] = None
     stacked_trees: Optional[bool] = None
+    max_events: Optional[int] = None
 
     def validate(self) -> None:
         if self.sigma <= 0:
@@ -120,6 +126,11 @@ class OnlineMinCongestion:
                 session, self._routing, memoize=self._config.memoize
             ),
             stacked_trees=self._config.stacked_trees,
+            instrumentation=(
+                Instrumentation(max_events=self._config.max_events)
+                if self._config.max_events is not None
+                else None
+            ),
         )
         self._state = OnlineState(
             lengths=self._engine.lengths,

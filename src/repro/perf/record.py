@@ -42,7 +42,13 @@ from one PR to the next:
   Dijkstra per oracle),
 * the **Prim crossover**: plain-Python versus vectorised-NumPy Prim at
   several member counts, locating the measured crossover that sets
-  ``repro.overlay.mst._PYTHON_PRIM_LIMIT``.
+  ``repro.overlay.mst._PYTHON_PRIM_LIMIT``,
+* the **observability overhead** ablation: full engine steps with the
+  ``repro.obs`` metrics registry disabled, enabled, and with a live
+  trace-span :class:`~repro.obs.tracing.Tracer` active (interleaved
+  min-of-reps — the bound backing the "metrics on by default" claim is
+  the enabled-vs-disabled delta), plus the trace bit-identity check
+  (a traced MaxFlow solve must produce the identical solution).
 
 The record is a *trajectory*, not a snapshot: every run appends a
 compact entry to the ``history`` list (the latest run's full sections
@@ -76,13 +82,14 @@ from repro.util.errors import ConfigurationError
 from repro.util.rng import ensure_rng
 from repro.util.serialization import dump_json
 
-BENCH_SCHEMA = "BENCH_core/v6"
+BENCH_SCHEMA = "BENCH_core/v7"
 _KNOWN_SCHEMAS = (
     "BENCH_core/v1",
     "BENCH_core/v2",
     "BENCH_core/v3",
     "BENCH_core/v4",
     "BENCH_core/v5",
+    "BENCH_core/v6",
     BENCH_SCHEMA,
 )
 
@@ -147,6 +154,11 @@ class PerfProfile:
     engine_dynamic_steps: int = 150
     engine_epsilon: float = 0.05
     engine_warm_steps: int = 16
+    # The observability-overhead ablation: engine steps per timed arm
+    # and interleaved repetitions (each arm keeps its best-of-reps, so
+    # adjacent arms see the same machine noise).
+    obs_steps: int = 400
+    obs_reps: int = 3
     seed: int = 2004
 
 
@@ -179,6 +191,8 @@ TINY_PROFILE = PerfProfile(
     engine_fixed_steps=60,
     engine_dynamic_steps=20,
     engine_warm_steps=8,
+    obs_steps=50,
+    obs_reps=2,
 )
 QUICK_PROFILE = PerfProfile(
     name="quick",
@@ -819,6 +833,134 @@ def _timed_engine_step(profile: PerfProfile) -> Dict[str, object]:
     }
 
 
+def _timed_obs_overhead(profile: PerfProfile) -> Dict[str, object]:
+    """Ablation: what the ``repro.obs`` surfaces cost on the hot path.
+
+    Three arms over identical full-engine-step sequences on the
+    engine-ablation instance (fixed routing, stacked defaults):
+
+    * ``disabled`` — metrics registry off (``REPRO_METRICS=0``
+      equivalent) and no tracer: the pre-observability baseline,
+    * ``metrics`` — the registry on, as it is by default.  The engine
+      publishes its counters only at ``snapshot()`` (the registry tap),
+      so the per-step delta is the cost of the design claim: metrics on
+      must stay within a few percent of off,
+    * ``traced`` — a live :class:`~repro.obs.tracing.Tracer` activated
+      around the same steps: one span object and one event dict per
+      step plus one per oracle round, the opt-in tracing cost.
+
+    Arms run interleaved and keep their best-of-reps, so adjacent arms
+    see the same machine noise; overhead percentages can come out
+    slightly negative in the noise floor, which reads as "no measurable
+    overhead".  The bit-identity arm then solves the profile's MaxFlow
+    instance with and without an active tracer and compares outputs —
+    tracing must observe, never perturb.
+    """
+    from repro.core.engine import MaxFlowPolicy, NormalizedLengthStop, PhaseEngine
+    from repro.core.lengths import LengthFunction
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.tracing import Tracer
+    from repro.overlay.oracle import build_oracles
+
+    network = paper_flat_topology(
+        num_nodes=profile.engine_nodes, capacity=100.0, seed=profile.seed
+    )
+    rng = ensure_rng(profile.seed + 11)
+    sessions = [
+        random_session(network, size, demand=100.0, seed=rng, name=f"obs{i}")
+        for i, size in enumerate(profile.engine_fixed_sessions)
+    ]
+    routing = FixedIPRouting(network)  # shared: route caches warm once
+
+    def build_engine() -> "PhaseEngine":
+        oracles = build_oracles(sessions, routing)
+        max_size = max(s.size for s in sessions)
+        longest = max(1, max(o.max_route_length() for o in oracles))
+        lengths = LengthFunction.for_maxflow(
+            network.num_edges, profile.engine_epsilon, max_size, longest
+        )
+        return PhaseEngine(
+            oracles=oracles,
+            lengths=lengths,
+            capacities=network.capacities,
+            policy=MaxFlowPolicy(
+                epsilon=profile.engine_epsilon, max_session_size=max_size
+            ),
+            stopping=NormalizedLengthStop(),
+            step_cap=10**9,
+            cap_message="obs-overhead bench exceeded its cap",
+        )
+
+    steps = profile.obs_steps
+
+    def run_arm(tracer: "Tracer" = None) -> float:
+        engine = build_engine()
+        if tracer is None:
+            start = time.perf_counter()
+            for _ in range(steps):
+                engine.step()
+            return time.perf_counter() - start
+        with tracer.activate():
+            start = time.perf_counter()
+            for _ in range(steps):
+                engine.step()
+            return time.perf_counter() - start
+
+    was_enabled = obs_metrics.metrics_enabled()
+    best = {"disabled": float("inf"), "metrics": float("inf"), "traced": float("inf")}
+    try:
+        obs_metrics.configure_metrics(False)
+        run_arm()  # warm: route caches, incidence build, allocator
+        for _ in range(profile.obs_reps):
+            obs_metrics.configure_metrics(False)
+            best["disabled"] = min(best["disabled"], run_arm())
+            obs_metrics.configure_metrics(True)
+            best["metrics"] = min(best["metrics"], run_arm())
+            best["traced"] = min(best["traced"], run_arm(Tracer()))
+    finally:
+        obs_metrics.configure_metrics(was_enabled)
+
+    def overhead_pct(arm: str) -> float:
+        if best["disabled"] <= 0:
+            return 0.0
+        return (best[arm] - best["disabled"]) / best["disabled"] * 100.0
+
+    # Bit-identity: a traced solve must produce the identical solution.
+    network2, sessions2 = build_perf_instance(profile)
+    plain = MaxFlow(
+        sessions2,
+        FixedIPRouting(network2),
+        MaxFlowConfig(approximation_ratio=profile.fixed_ratio),
+    ).solve()
+    tracer = Tracer()
+    with tracer.activate():
+        traced = MaxFlow(
+            sessions2,
+            FixedIPRouting(network2),
+            MaxFlowConfig(approximation_ratio=profile.fixed_ratio),
+        ).solve()
+    span_events = [e for e in tracer.events if e.get("ph") == "X"]
+    step_spans = sum(1 for e in span_events if e["name"] == "engine.step")
+
+    return {
+        "steps": float(steps),
+        "reps": float(profile.obs_reps),
+        "sessions": float(len(sessions)),
+        "num_edges": float(network.num_edges),
+        "disabled_seconds": best["disabled"],
+        "metrics_seconds": best["metrics"],
+        "traced_seconds": best["traced"],
+        "metrics_overhead_pct": overhead_pct("metrics"),
+        "trace_overhead_pct": overhead_pct("traced"),
+        "traced_span_events": float(len(span_events)),
+        "traced_step_spans": float(step_spans),
+        "outputs_identical_with_trace": bool(
+            plain.overall_throughput == traced.overall_throughput
+            and plain.oracle_calls == traced.oracle_calls
+        ),
+    }
+
+
 def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
     """Measure the oracle hot path and return one run's BENCH_core record."""
     profile = profile_for_scale(scale)
@@ -843,6 +985,7 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
     dynamic_oracle = _timed_dynamic_oracle(profile)
     prim_crossover = _timed_prim_crossover(profile)
     engine_step = _timed_engine_step(profile)
+    obs_overhead = _timed_obs_overhead(profile)
 
     speedup = (
         fixed_unmemoized["seconds"] / fixed_memoized["seconds"]
@@ -875,6 +1018,7 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
         "dynamic_oracle": dynamic_oracle,
         "prim_crossover": prim_crossover,
         "engine_step": engine_step,
+        "obs_overhead": obs_overhead,
     }
 
 
@@ -940,6 +1084,10 @@ def _history_entry(record: Dict[str, object]) -> Dict[str, object]:
         entry["engine_step_dynamic_speedup"] = engine_step.get("dynamic", {}).get(
             "stacked_speedup"
         )
+    obs_overhead = record.get("obs_overhead", {})
+    if obs_overhead:
+        entry["obs_metrics_overhead_pct"] = obs_overhead.get("metrics_overhead_pct")
+        entry["obs_trace_overhead_pct"] = obs_overhead.get("trace_overhead_pct")
     return entry
 
 

@@ -44,6 +44,7 @@ from typing import Any, Dict, Iterator, Optional, Tuple, Union
 from repro.api.registry import default_registry
 from repro.api.service import solve
 from repro.api.specs import ScenarioSpec
+from repro.obs import metrics as obs_metrics
 from repro.serve.admission import (
     DEFAULT_HIGH_WATER,
     AdmissionController,
@@ -62,6 +63,10 @@ _TERMINAL = ("done", "failed")
 
 def _error(kind: str, message: str, **extra: Any) -> Dict[str, Any]:
     return {"error": {"type": kind, "message": message}, **extra}
+
+
+def _serve_counter(name: str, help_text: str):
+    return obs_metrics.registry().counter(name, help_text)
 
 
 @dataclass
@@ -152,6 +157,9 @@ class ServeApp:
         )
         self.registry = default_registry()
         self.started_at = time.time()
+        # Uptime is measured on the monotonic clock: an NTP step moving
+        # time.time() backwards must never yield negative uptime.
+        self._started_monotonic = time.monotonic()
         self.warm_submits = 0
         self._runs: Dict[str, RunRecord] = {}
         self._watched: Dict[str, Tuple[str, RunRecord]] = {}
@@ -182,6 +190,7 @@ class ServeApp:
         sets tenancy fields; a bare spec object submits as the default
         client at priority 0 (lower priority value = scheduled sooner).
         """
+        _serve_counter("repro_serve_submits_total", "Solve submissions received").inc()
         try:
             body = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -219,6 +228,10 @@ class ServeApp:
             # Warm key: the ticket is immediately redeemable, no solver
             # work, no admission charge.
             self.warm_submits += 1
+            _serve_counter(
+                "repro_serve_warm_hits_total",
+                "Submissions answered straight from the store",
+            ).inc()
             return 200, {"key": key, "state": "done", "cached": True, **links}
         with self._lock:
             existing = self._runs.get(key)
@@ -233,6 +246,10 @@ class ServeApp:
             try:
                 depth = self.admission.offer(client, record, priority=priority)
             except AdmissionShed as exc:
+                _serve_counter(
+                    "repro_serve_shed_total",
+                    "Submissions shed by admission control (429)",
+                ).inc()
                 return 429, _error(
                     "AdmissionShed",
                     str(exc),
@@ -295,6 +312,9 @@ class ServeApp:
         )
         if not known:
             return None
+        _serve_counter(
+            "repro_serve_sse_connections_total", "SSE event streams opened"
+        ).inc()
         timeout = self.config.sse_timeout if timeout is None else timeout
         if run is None and not self.relay.exists(key):
             # Warm store key with no telemetry channel (solved elsewhere,
@@ -319,7 +339,7 @@ class ServeApp:
         payload: Dict[str, Any] = {
             "service": SERVICE_SCHEMA,
             "mode": self.mode,
-            "uptime_seconds": time.time() - self.started_at,
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
             "admission": self.admission.snapshot(),
             "workers": {
                 "mode": self.mode,
@@ -348,8 +368,14 @@ class ServeApp:
                 "GET /v1/runs/{key}/events": "SSE stream of live engine "
                 "telemetry (oracle/phase/congestion events, then end)",
                 "GET /v1/status": "queue depth, workers, store stats",
+                "GET /metrics": "Prometheus text exposition of the "
+                "process metrics registry (store/queue/engine/serve)",
             },
         }
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: the registry in Prometheus text format."""
+        return obs_metrics.registry().render_prometheus()
 
     # ------------------------------------------------------------------
     # execution backends

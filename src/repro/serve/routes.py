@@ -10,6 +10,7 @@ load-bearing, not an optimisation) dispatching to the app's
 ``GET /v1/reports/K``  the stored report; 202 + run state while in flight
 ``GET /v1/runs/K/events``  SSE telemetry stream (``?timeout=SECONDS``)
 ``GET /v1/status``     admission/workers/runs/store backpressure snapshot
+``GET /metrics``       Prometheus text exposition of the metrics registry
 ``GET /``              endpoint index
 ====================  ==================================================
 
@@ -89,6 +90,15 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
     def _send_error_json(self, code: int, kind: str, message: str) -> None:
         self._send_json(code, {"error": {"type": kind, "message": message}})
 
+    def _send_metrics(self) -> None:
+        body = self.app.metrics_text().encode("utf-8")
+        self.send_response(200)
+        # The Prometheus text exposition content type (version 0.0.4).
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
@@ -101,6 +111,8 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         if path == "/v1/status":
             code, payload = self.app.status()
             return self._send_json(code, payload)
+        if path == "/metrics":
+            return self._send_metrics()
         match = _REPORT_PATH.match(path)
         if match:
             code, payload = self.app.report(match.group(1))

@@ -37,11 +37,13 @@ import gzip
 import hashlib
 import json
 import os
+import threading
 import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
+from repro.obs import metrics as obs_metrics
 from repro.util.errors import ConfigurationError, ReproError
 from repro.util.serialization import atomic_write_bytes, canonical_json, read_bytes
 
@@ -58,6 +60,14 @@ StoreLike = Union[None, str, Path, "ReportStore"]
 def _canonical_bytes(data: Any) -> bytes:
     """Deterministic JSON bytes (the repo-wide canonical encoding)."""
     return canonical_json(data).encode("utf-8")
+
+
+def _lookup_counter(outcome: str):
+    return obs_metrics.registry().counter(
+        "repro_store_lookups_total",
+        "Report-store lookups by outcome",
+        labels={"outcome": outcome},
+    )
 
 
 class ReportStore:
@@ -88,6 +98,11 @@ class ReportStore:
             )
         self._memory_entries = int(memory_entries)
         self._memory: "OrderedDict[str, SolveReport]" = OrderedDict()
+        # One lock guards the LRU front and the hit/miss/corrupt
+        # counters: gets run concurrently on serve worker threads, and
+        # unguarded `+= 1` / OrderedDict mutation would tear.  Disk I/O
+        # happens outside the lock (atomic writes make that safe).
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
@@ -128,6 +143,7 @@ class ReportStore:
         report's bytes depend only on the solved spec, not on which cache
         layer happened to serve it to the writer.
         """
+        started = time.perf_counter()
         key = report.canonical_key
         if report.cached:
             # Normalise the object itself, not just the payload, so the
@@ -147,6 +163,11 @@ class ReportStore:
         path = atomic_write_bytes(self._object_path(key, self.compress), data)
         self._append_index(key, path, len(data))
         self._remember(key, report)
+        reg = obs_metrics.registry()
+        reg.counter("repro_store_puts_total", "Reports persisted").inc()
+        reg.histogram(
+            "repro_store_put_seconds", "Report persist latency (seconds)"
+        ).observe(time.perf_counter() - started)
         return path
 
     def get(self, key: str) -> Optional["SolveReport"]:
@@ -156,19 +177,28 @@ class ReportStore:
         missing, unreadable, schema-mismatched or fails its digest check,
         so callers always fall back to a fresh solve.
         """
-        if key in self._memory:
-            self._memory.move_to_end(key)
-            self.hits += 1
-            return self._memory[key]
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                report = self._memory[key]
+                _lookup_counter("hit").inc()
+                return report
         path = self._find_object(key)
         if path is None:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
+            _lookup_counter("miss").inc()
             return None
         report = self._load_entry(key, path)
         if report is None:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
+            _lookup_counter("miss").inc()
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
+        _lookup_counter("hit").inc()
         self._remember(key, report)
         return report
 
@@ -192,7 +222,12 @@ class ReportStore:
             # own layers (schema mismatch, invalid spec/session data) —
             # every flavour of bad entry must degrade to a miss, never
             # propagate to callers that promised to fall back to a solve.
-            self.corrupt += 1
+            with self._lock:
+                self.corrupt += 1
+            obs_metrics.registry().counter(
+                "repro_store_quarantines_total",
+                "Corrupt entries quarantined on read",
+            ).inc()
             self._quarantine(path)
             return None
 
@@ -205,10 +240,11 @@ class ReportStore:
     def _remember(self, key: str, report: "SolveReport") -> None:
         if self._memory_entries == 0:
             return
-        self._memory[key] = report
-        self._memory.move_to_end(key)
-        while len(self._memory) > self._memory_entries:
-            self._memory.popitem(last=False)
+        with self._lock:
+            self._memory[key] = report
+            self._memory.move_to_end(key)
+            while len(self._memory) > self._memory_entries:
+                self._memory.popitem(last=False)
 
     # ------------------------------------------------------------------
     # index, stats and pruning
@@ -267,14 +303,17 @@ class ReportStore:
                 total += p.stat().st_size
             except OSError:
                 pass
+        with self._lock:
+            memory_entries = len(self._memory)
+            hits, misses, corrupt = self.hits, self.misses, self.corrupt
         return {
             "entries": len(paths),
             "bytes": total,
             "index_lines": len(self.index_entries()),
-            "memory_entries": len(self._memory),
-            "hits": self.hits,
-            "misses": self.misses,
-            "corrupt": self.corrupt,
+            "memory_entries": memory_entries,
+            "hits": hits,
+            "misses": misses,
+            "corrupt": corrupt,
         }
 
     def prune(
@@ -313,8 +352,9 @@ class ReportStore:
                 path.unlink()
             except OSError:
                 pass
-        for key in removed_keys:
-            self._memory.pop(key, None)
+        with self._lock:
+            for key in removed_keys:
+                self._memory.pop(key, None)
         self._compact_index()
         return len(doomed)
 
@@ -331,7 +371,8 @@ class ReportStore:
 
     def clear_memory(self) -> None:
         """Drop the in-memory LRU front (disk entries are untouched)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ReportStore({str(self.root)!r}, compress={self.compress})"

@@ -126,6 +126,18 @@ def test_write_core_perf_record_tiny(tmp_path):
         engine_step["dynamic"]["stacked_speedup"],
     )
 
+    # Observability overhead: three interleaved arms over identical step
+    # sequences, plus the traced-solve bit-identity check.
+    obs = record["obs_overhead"]
+    assert obs["steps"] > 0
+    assert obs["disabled_seconds"] > 0
+    assert obs["metrics_seconds"] > 0
+    assert obs["traced_seconds"] > 0
+    # The traced arm records exactly one engine.step span per step.
+    assert obs["traced_step_spans"] > 0
+    assert obs["traced_span_events"] >= obs["traced_step_spans"]
+    assert obs["outputs_identical_with_trace"]
+
     latest = record["history"][-1]
     assert latest["multiply_batched_speedup"] == length_multiply["batched_speedup"]
     assert latest["multiply_unique_speedup"] == (
@@ -138,6 +150,8 @@ def test_write_core_perf_record_tiny(tmp_path):
     assert latest["tree_length_measured_crossover"] == crossover["measured_crossover"]
     assert latest["ledger_round_speedup"] == ledger["ledger_round_speedup"]
     assert latest["engine_step_stacked_speedup"] == engine_step["stacked_speedup"]
+    assert latest["obs_metrics_overhead_pct"] == obs["metrics_overhead_pct"]
+    assert latest["obs_trace_overhead_pct"] == obs["trace_overhead_pct"]
 
 
 def test_record_appends_history(tmp_path):
@@ -238,16 +252,50 @@ def test_record_migrates_v5_history(tmp_path):
     path.write_text(json.dumps(v5))
     write_core_perf_record(path, scale="tiny")
     record = json.loads(path.read_text())
-    assert record["schema"] == "BENCH_core/v6"
+    assert record["schema"] == BENCH_SCHEMA
     assert record["history"][:2] == v5_history
     assert len(record["history"]) == 3
     latest = record["history"][-1]
-    assert latest["schema"] == "BENCH_core/v6"
+    assert latest["schema"] == BENCH_SCHEMA
     assert latest["engine_step_stacked_speedup"] == (
         record["engine_step"]["stacked_speedup"]
     )
     assert latest["engine_step_dynamic_speedup"] == (
         record["engine_step"]["dynamic"]["stacked_speedup"]
+    )
+
+
+def test_record_migrates_v6_history(tmp_path):
+    # A v6 record's trajectory (pre-obs_overhead) survives the v7 write
+    # verbatim, with the new (obs_overhead-bearing) entry appended.
+    path = tmp_path / "BENCH_core.json"
+    v6_history = [
+        {"schema": "BENCH_core/v5", "scale": "quick", "fixed_calls_per_sec": 11.0},
+        {
+            "schema": "BENCH_core/v6",
+            "scale": "quick",
+            "fixed_calls_per_sec": 12.0,
+            "engine_step_stacked_speedup": 1.9,
+        },
+    ]
+    v6 = {
+        "schema": "BENCH_core/v6",
+        "scale": "quick",
+        "maxflow_fixed": {"memoized": {"calls_per_sec": 12.0}},
+        "maxflow_dynamic": {"memoized": {"calls_per_sec": 850.0}},
+        "engine_step": {"stacked_speedup": 1.9},
+        "history": v6_history,
+    }
+    path.write_text(json.dumps(v6))
+    write_core_perf_record(path, scale="tiny")
+    record = json.loads(path.read_text())
+    assert record["schema"] == BENCH_SCHEMA
+    assert record["history"][:2] == v6_history
+    assert len(record["history"]) == 3
+    latest = record["history"][-1]
+    assert latest["schema"] == BENCH_SCHEMA
+    assert latest["obs_metrics_overhead_pct"] == (
+        record["obs_overhead"]["metrics_overhead_pct"]
     )
 
 
