@@ -151,6 +151,32 @@ def test_tree_length_crossover_and_ledger_round(run_once, benchmark):
     assert ledger["ledger_round_speedup"] > 0
 
 
+def test_ledger_kernel_backend_ablation(run_once, benchmark):
+    """Ablation: the ledger hot ops under numpy vs the best ordered backend.
+
+    Times the three kernel-registry ops — the fused round-lengths pass
+    (:meth:`TreeLedger.lengths_for`), the flow scatter
+    (:meth:`TreeLedger.edge_values`), and the one-pass all-columns
+    kernel (:meth:`TreeLedger.lengths_for_all`) — under the default
+    ``numpy`` backend and under the best available ordered backend
+    (``numba`` when importable, else the pure-NumPy ``ordered``
+    reference).  Results are bit-identical per backend to the per-tree
+    loop (tests/test_kernel_backends.py); the measured speedups land in
+    BENCH_core.json.
+    """
+    benchmark.group = "ledger-kernel"
+    from repro.perf.record import _best_kernel_backend, _timed_ledger_kernel
+
+    result = run_once(_timed_ledger_kernel, QUICK_PROFILE)
+    assert result["backend"] == _best_kernel_backend()
+    assert result["nnz"] > 0
+    for op in ("round_lengths", "scatter", "lengths_for_all"):
+        assert result[op]["numpy_seconds"] > 0
+        assert result[op]["compiled_seconds"] > 0
+        # Structural only — the measured ratios land in BENCH_core.json.
+        assert result[op]["compiled_speedup"] > 0
+
+
 def test_engine_step_stacked_ablation(run_once, benchmark):
     """Ablation: full engine steps, stacked representation vs the loop.
 
@@ -251,6 +277,11 @@ def test_emit_bench_core_record(run_once):
     assert record["prim_crossover"]["configured_limit"] > 0
     assert record["length_multiply"]["unique_fastpath_speedup"] > 0
     assert record["tree_length"]["ledger"]["ledger_round_speedup"] > 0
+    ledger_kernel = record["ledger_kernel"]
+    assert ledger_kernel["backend"] in ("ordered", "numba")
+    assert ledger_kernel["round_lengths"]["compiled_speedup"] > 0
+    assert ledger_kernel["scatter"]["compiled_speedup"] > 0
+    assert ledger_kernel["lengths_for_all"]["compiled_speedup"] > 0
     assert record["engine_step"]["fixed"]["outputs_identical"]
     assert record["engine_step"]["dynamic"]["outputs_identical"]
     assert record["engine_step"]["stacked_speedup"] > 0

@@ -198,6 +198,7 @@ def solve_max_flow_instance(
     max_iterations: Optional[int] = None,
     memoize: Optional[bool] = None,
     stacked_trees: Optional[bool] = None,
+    kernel_backend: Optional[str] = None,
     max_events: Optional[int] = None,
 ) -> FlowSolution:
     """MaxFlow FPTAS (paper M1 / Table I): maximise aggregate throughput."""
@@ -207,6 +208,7 @@ def solve_max_flow_instance(
         max_iterations=max_iterations,
         memoize=memoize,
         stacked_trees=stacked_trees,
+        kernel_backend=kernel_backend,
         max_events=max_events,
     )
     return MaxFlow(sessions, routing, config).solve()
@@ -223,6 +225,7 @@ def solve_max_concurrent_flow_instance(
     max_steps: Optional[int] = None,
     memoize: Optional[bool] = None,
     stacked_trees: Optional[bool] = None,
+    kernel_backend: Optional[str] = None,
     max_events: Optional[int] = None,
 ) -> FlowSolution:
     """MaxConcurrentFlow FPTAS (paper M2 / Table III): max-min fairness."""
@@ -234,6 +237,7 @@ def solve_max_concurrent_flow_instance(
         max_steps=max_steps,
         memoize=memoize,
         stacked_trees=stacked_trees,
+        kernel_backend=kernel_backend,
         max_events=max_events,
     )
     return MaxConcurrentFlow(sessions, routing, config).solve()
@@ -248,6 +252,7 @@ def solve_online_instance(
     apply_no_bottleneck_scaling: bool = False,
     memoize: Optional[bool] = None,
     stacked_trees: Optional[bool] = None,
+    kernel_backend: Optional[str] = None,
     max_events: Optional[int] = None,
 ) -> FlowSolution:
     """Online-MinCongestion (paper Table VI): one tree per arrival, in order."""
@@ -256,6 +261,7 @@ def solve_online_instance(
         apply_no_bottleneck_scaling=apply_no_bottleneck_scaling,
         memoize=memoize,
         stacked_trees=stacked_trees,
+        kernel_backend=kernel_backend,
         max_events=max_events,
     )
     solver = OnlineMinCongestion(routing, config)
@@ -274,6 +280,7 @@ def solve_randomized_rounding_instance(
     prescale_epsilon: float = 0.1,
     memoize: Optional[bool] = None,
     stacked_trees: Optional[bool] = None,
+    kernel_backend: Optional[str] = None,
     max_events: Optional[int] = None,
 ) -> FlowSolution:
     """Random-MinCongestion (paper Table V): round the fractional optimum.
@@ -290,6 +297,7 @@ def solve_randomized_rounding_instance(
         prescale_epsilon=prescale_epsilon,
         memoize=memoize,
         stacked_trees=stacked_trees,
+        kernel_backend=kernel_backend,
         max_events=max_events,
     )
     selection = RandomMinCongestion(fractional, seed=seed).select_trees(max_trees)

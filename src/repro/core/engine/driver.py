@@ -24,6 +24,11 @@ import numpy as np
 
 from repro.core.engine.batch import BatchedOracleFront
 from repro.core.engine.instrumentation import Instrumentation
+from repro.core.engine.kernels import (
+    KernelBackend,
+    resolve_kernel_backend,
+    use_kernel_backend,
+)
 from repro.core.engine.ledger import TreeLedger, stacked_trees_default
 from repro.core.engine.strategies import RouteAction, StepPolicy, StoppingRule
 from repro.core.lengths import LengthFunction
@@ -61,6 +66,7 @@ class PhaseEngine:
         batch_oracle: Optional[bool] = None,
         oracle_factory=None,
         stacked_trees: Optional[bool] = None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         self._oracles: List[MinimumOverlayTreeOracle] = list(oracles)
         self._lengths = lengths
@@ -96,6 +102,12 @@ class PhaseEngine:
         if self._ledger is not None:
             for oracle in self._oracles:
                 oracle.attach_ledger(self._ledger)
+        # Kernel backend: resolved once at construction (falling back to
+        # numpy with a one-time warning when the requested backend can't
+        # load) and installed thread-locally around every step, so
+        # concurrent solves on worker threads each see their own choice.
+        self._kernels: KernelBackend = resolve_kernel_backend(kernel_backend)
+        self._instr.kernel_backend = self._kernels.name
         self._oracle_keys: Dict[Tuple[int, ...], int] = {
             tuple(sorted(o.session.members)): i for i, o in enumerate(self._oracles)
         }
@@ -147,6 +159,11 @@ class PhaseEngine:
         return self._ledger
 
     @property
+    def kernels(self) -> KernelBackend:
+        """The resolved kernel backend active during this engine's steps."""
+        return self._kernels
+
+    @property
     def steps(self) -> int:
         """Steps executed so far (query rounds, terminating round included)."""
         return self._steps
@@ -193,9 +210,18 @@ class PhaseEngine:
         check → route → apply.  The terminating round (a query whose
         selection trips the stopping rule) counts as a step, matching
         the iteration accounting of the pre-engine loops.
+
+        The whole step — stopping checks, oracle round, routing, length
+        flush — runs with this engine's kernel backend installed as the
+        thread's active backend, so every tree-length evaluation and
+        scatter inside it uses one consistent accumulation order.
         """
         if self._stopped:
             return None
+        with use_kernel_backend(self._kernels):
+            return self._step_locked()
+
+    def _step_locked(self) -> Optional[RouteAction]:
         if self._stopping.before_step(self):
             self._stopped = True
             return None

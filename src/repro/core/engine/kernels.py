@@ -1,0 +1,490 @@
+"""Pluggable kernel backends for the stacked tree ledger's hot ops.
+
+The ledger's round evaluation (`TreeLedger.lengths_for`) historically
+ran a Python loop of per-column BLAS dots: bit-identity to
+``OverlayTree.length`` pins each column to ``np.dot``, and ``np.dot``'s
+SIMD/pairwise accumulation order is opaque, so the loop could not be
+fused into one vectorised pass.  This module breaks that impasse by
+making the accumulation order itself a backend property:
+
+* ``numpy`` — the historical code paths (per-column ``np.dot``,
+  ``np.add.at``, ``np.multiply.at``).  Zero-dependency default,
+  bit-identical to every pre-backend release.
+* ``ordered`` — the pure-NumPy *ordered reference*: every reduction is
+  an exact left-to-right sequential sum, computed with the two NumPy
+  primitives that accumulate strictly in input order (``np.bincount``
+  with weights, whose per-bin adds happen in input order, and
+  ``np.cumsum``, whose last element is the running left-to-right sum —
+  both verified bit-identical to a scalar ``s += x`` loop in the
+  conformance suite, unlike ``np.add.reduce``/``reduceat``/``einsum``,
+  which use pairwise/SIMD partial sums).  One fused pass per op, no
+  Python per-column loop.
+* ``numba`` — ``@njit``-compiled scalar loops implementing the *same*
+  left-to-right order, so they are bit-identical to ``ordered`` by
+  construction.  Optional: when numba is not importable the backend
+  resolves to ``numpy`` with a one-time warning.
+
+Because the pinned order is a property of the backend, the loop path
+(``OverlayTree.length``) and the stacked path (ledger ops) stay
+bit-identical to *each other* under every backend: under ``numpy`` both
+use the historical dots, under ``ordered``/``numba`` both use the
+left-to-right sum.  Cross-backend agreement is floating-point
+round-off (``allclose``), exactly like the pre-existing
+``lengths_for_all`` analytics kernel.
+
+Knob pattern mirrors ``stacked_trees``: a process-wide default
+(:func:`configure_kernel_backend`, seeded from the ``REPRO_KERNELS``
+environment variable), a per-solver ``kernel_backend`` config field
+(resolved at engine construction), and a thread-local override the
+engine installs around each step (:func:`use_kernel_backend`) so
+tree/length code deep in the call stack sees the engine's backend —
+thread-local because the serve layer runs concurrent solves on worker
+threads.
+
+This module is an import leaf (numpy + stdlib only): it must stay
+importable from :mod:`repro.overlay.tree` without touching the
+``repro.core.engine`` package namespace mid-initialisation.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import warnings
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+KERNELS_ENV_VAR = "REPRO_KERNELS"
+
+# One-time JIT compilation cost, per op (numba backend warmup).
+COMPILE_SECONDS_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+class KernelBackend:
+    """The ``numpy`` backend: the historical, zero-dependency code paths.
+
+    Subclasses override the ops below; the ledger / length-function /
+    tree call sites dispatch on :attr:`ordered` (does this backend pin
+    the left-to-right sum, enabling the fused one-pass kernels?) and
+    never import anything optional themselves.
+    """
+
+    name = "numpy"
+    #: True when the backend requires a JIT toolchain (numba).
+    compiled = False
+    #: True when every reduction is the pinned left-to-right sum (the
+    #: fused ledger kernels engage only under ordered backends; the
+    #: numpy backend keeps the historical per-column BLAS dots).
+    ordered = False
+
+    def warmup(self) -> None:
+        """Compile/prepare kernels (no-op for interpreted backends)."""
+
+    # -- reductions ----------------------------------------------------
+    def column_lengths(
+        self,
+        rows: np.ndarray,
+        values: np.ndarray,
+        ids: np.ndarray,
+        num_columns: int,
+        lengths: np.ndarray,
+    ) -> np.ndarray:
+        """Per-column tree lengths over CSC entries grouped by ``ids``.
+
+        ``out[c] = sum over entries k with ids[k] == c of
+        values[k] * lengths[rows[k]]`` — entries of one column are
+        contiguous and in stored order, so an in-input-order
+        accumulation is the per-column left-to-right sum.
+        """
+        out = np.zeros(int(num_columns), dtype=float)
+        if rows.size == 0:
+            return out
+        gathered = lengths[rows]
+        boundaries = np.flatnonzero(np.diff(ids)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [ids.size]))
+        for s, e in zip(starts, ends):
+            out[ids[s]] = float(np.dot(values[s:e], gathered[s:e]))
+        return out
+
+    def tree_length(
+        self, rows: np.ndarray, values: np.ndarray, lengths: np.ndarray
+    ) -> float:
+        """One tree's length over its sparse footprint."""
+        return float(np.dot(values, lengths[rows]))
+
+    # -- scatter -------------------------------------------------------
+    def scatter_add(
+        self, out: np.ndarray, rows: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """``out[rows] += values`` with duplicate rows accumulating in
+        input order (the ``np.add.at`` semantics)."""
+        np.add.at(out, rows, values)
+        return out
+
+    def scatter_add_fresh(
+        self, out: np.ndarray, rows: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`scatter_add` for an ``out`` known to be all zeros.
+
+        Starting from zeros, the in-input-order accumulation equals the
+        per-bin left-to-right sum, which ordered backends exploit with
+        a single ``np.bincount`` pass.
+        """
+        np.add.at(out, rows, values)
+        return out
+
+    # -- length updates ------------------------------------------------
+    def multiply_at(
+        self, rel: np.ndarray, edge_ids: np.ndarray, factors: np.ndarray
+    ) -> None:
+        """Duplicate-safe ``rel[edge_ids] *= factors`` accumulating every
+        factor in input order (the ``np.multiply.at`` semantics)."""
+        np.multiply.at(rel, edge_ids, factors)
+
+    def multiply_unique(
+        self, rel: np.ndarray, edge_ids: np.ndarray, factors: np.ndarray
+    ) -> None:
+        """``rel[edge_ids] *= factors`` for duplicate-free ``edge_ids``."""
+        rel[edge_ids] *= factors
+
+
+class OrderedKernelBackend(KernelBackend):
+    """The pure-NumPy ordered reference: exact left-to-right sums.
+
+    ``np.bincount(ids, weights=w)`` adds each weight into its bin in
+    input order, and ``np.cumsum(w)[-1]`` is the running left-to-right
+    sum — both bit-identical to ``s = 0.0; for x in w: s += x`` (IEEE
+    ``0.0 + x == x`` for the positive operands these kernels see).
+    Neither re-associates, unlike ``np.add.reduce``/``np.sum``.  These
+    are the fused one-pass kernels the ISSUE graduates into solver
+    paths, and the bit-identity oracle the compiled backend is tested
+    against.
+    """
+
+    name = "ordered"
+    ordered = True
+
+    def column_lengths(self, rows, values, ids, num_columns, lengths):
+        if rows.size == 0:
+            return np.zeros(int(num_columns), dtype=float)
+        products = values * lengths[rows]
+        return np.bincount(ids, weights=products, minlength=int(num_columns))
+
+    def tree_length(self, rows, values, lengths):
+        if rows.size == 0:
+            return 0.0
+        return float(np.cumsum(values * lengths[rows])[-1])
+
+    def scatter_add_fresh(self, out, rows, values):
+        if rows.size:
+            out[:] = np.bincount(rows, weights=values, minlength=out.size)
+        return out
+
+
+class NumbaKernelBackend(OrderedKernelBackend):
+    """``@njit``-compiled scalar loops pinning the same left-to-right sum.
+
+    Optional: construction raises ``ImportError`` when numba is absent
+    (the registry then falls back to ``numpy`` with a one-time
+    warning).  :meth:`warmup` compiles every kernel eagerly — at
+    backend resolution, not inside a solve — and publishes the one-time
+    JIT cost to the ``repro_engine_kernel_compile_seconds`` histogram.
+    """
+
+    name = "numba"
+    compiled = True
+    ordered = True
+
+    def __init__(self) -> None:
+        import numba  # noqa: F401 — availability probe
+
+        self._numba = numba
+        self._ops: Dict[str, Callable] = {}
+
+    def warmup(self) -> None:
+        if self._ops:
+            return
+        njit = self._numba.njit
+
+        @njit
+        def column_lengths(rows, values, ids, num_columns, lengths):
+            out = np.zeros(num_columns, dtype=np.float64)
+            for k in range(rows.size):
+                out[ids[k]] += values[k] * lengths[rows[k]]
+            return out
+
+        @njit
+        def tree_length(rows, values, lengths):
+            total = 0.0
+            for k in range(rows.size):
+                total += values[k] * lengths[rows[k]]
+            return total
+
+        @njit
+        def scatter_add(out, rows, values):
+            for k in range(rows.size):
+                out[rows[k]] += values[k]
+
+        @njit
+        def multiply_at(rel, edge_ids, factors):
+            for k in range(edge_ids.size):
+                rel[edge_ids[k]] *= factors[k]
+
+        kernels = {
+            "column_lengths": column_lengths,
+            "tree_length": tree_length,
+            "scatter_add": scatter_add,
+            "multiply_at": multiply_at,
+        }
+        # Trigger compilation per op on tiny representative arguments so
+        # the first solve pays zero JIT cost, and record each op's
+        # compile time for the /metrics histogram.
+        i64 = np.zeros(1, dtype=np.int64)
+        f64 = np.zeros(1, dtype=np.float64)
+        ones = np.ones(1, dtype=np.float64)
+        probes = {
+            "column_lengths": (i64, f64, i64, 1, ones),
+            "tree_length": (i64, f64, ones),
+            "scatter_add": (f64.copy(), i64, f64),
+            "multiply_at": (ones.copy(), i64, ones),
+        }
+        for op, fn in kernels.items():
+            start = time.perf_counter()
+            fn(*probes[op])
+            _observe_compile_seconds(op, time.perf_counter() - start)
+        self._ops = kernels
+
+    def column_lengths(self, rows, values, ids, num_columns, lengths):
+        self.warmup()
+        return self._ops["column_lengths"](
+            np.ascontiguousarray(rows),
+            np.ascontiguousarray(values),
+            np.ascontiguousarray(ids),
+            int(num_columns),
+            np.ascontiguousarray(lengths),
+        )
+
+    def tree_length(self, rows, values, lengths):
+        self.warmup()
+        return float(
+            self._ops["tree_length"](
+                np.ascontiguousarray(rows),
+                np.ascontiguousarray(values),
+                np.ascontiguousarray(lengths),
+            )
+        )
+
+    def scatter_add(self, out, rows, values):
+        self.warmup()
+        self._ops["scatter_add"](
+            out, np.ascontiguousarray(rows), np.ascontiguousarray(values)
+        )
+        return out
+
+    def scatter_add_fresh(self, out, rows, values):
+        return self.scatter_add(out, rows, values)
+
+    def multiply_at(self, rel, edge_ids, factors):
+        self.warmup()
+        self._ops["multiply_at"](
+            rel, np.ascontiguousarray(edge_ids), np.ascontiguousarray(factors)
+        )
+
+    def multiply_unique(self, rel, edge_ids, factors):
+        # Duplicate-free ids make the sequential loop and the fancy
+        # multiply the same elementwise operation; reuse the compiled
+        # loop so the update is one pass with no temporary.
+        self.multiply_at(rel, edge_ids, factors)
+
+
+def _observe_compile_seconds(op: str, seconds: float) -> None:
+    """Publish one op's JIT compile time to the metrics registry."""
+    try:
+        from repro.obs import metrics as obs_metrics
+
+        reg = obs_metrics.registry()
+        if not reg.enabled:
+            return
+        reg.histogram(
+            "repro_engine_kernel_compile_seconds",
+            "One-time JIT compilation cost of compiled kernel ops",
+            labels={"op": op},
+            buckets=COMPILE_SECONDS_BUCKETS,
+        ).observe(seconds)
+    except Exception:  # pragma: no cover — metrics must never break solves
+        pass
+
+
+# ----------------------------------------------------------------------
+# registry + knobs (mirrors the stacked_trees / memoize pattern)
+# ----------------------------------------------------------------------
+_BACKEND_FACTORIES: Dict[str, Callable[[], KernelBackend]] = {}
+_BACKEND_INSTANCES: Dict[str, KernelBackend] = {}
+_FALLBACK_WARNED: set = set()
+_KERNEL_BACKEND_DEFAULT = "numpy"
+_ACTIVE = threading.local()
+
+
+def register_kernel_backend(
+    name: str, factory: Optional[Callable[[], KernelBackend]] = None
+):
+    """Register a kernel-backend factory under ``name`` (decorator-friendly).
+
+    The factory is called lazily on first resolution and its instance
+    cached process-wide; a factory that raises (e.g. an optional import
+    failing) makes the name fall back to ``numpy`` with a one-time
+    warning.
+    """
+    if not name:
+        raise ConfigurationError("kernel backend name must be non-empty")
+    key = name.strip().lower()
+
+    def decorate(fn):
+        if key in _BACKEND_FACTORIES:
+            raise ConfigurationError(
+                f"kernel backend {key!r} is already registered; "
+                f"pick a different name or remove the existing entry first"
+            )
+        _BACKEND_FACTORIES[key] = fn
+        return fn
+
+    return decorate if factory is None else decorate(factory)
+
+
+def unregister_kernel_backend(name: str) -> None:
+    """Remove a registered backend (plugin teardown / test hygiene)."""
+    key = str(name).strip().lower()
+    if key not in _BACKEND_FACTORIES:
+        raise ConfigurationError(f"kernel backend {key!r} is not registered")
+    del _BACKEND_FACTORIES[key]
+    _BACKEND_INSTANCES.pop(key, None)
+    _FALLBACK_WARNED.discard(key)
+
+
+def kernel_backend_names() -> List[str]:
+    """Sorted names of registered kernel backends."""
+    return sorted(_BACKEND_FACTORIES)
+
+
+def resolve_kernel_backend(
+    name: Optional[Union[str, KernelBackend]] = None,
+) -> KernelBackend:
+    """The backend instance for ``name`` (``None`` → process default).
+
+    Unknown names raise :class:`ConfigurationError`; known-but-
+    unavailable backends (numba not importable, compilation failing)
+    fall back to ``numpy`` with a one-time warning, so a config or
+    ``REPRO_KERNELS`` pointing at numba degrades gracefully on
+    machines without it.
+    """
+    if isinstance(name, KernelBackend):
+        return name
+    key = (_KERNEL_BACKEND_DEFAULT if name is None else str(name)).strip().lower()
+    instance = _BACKEND_INSTANCES.get(key)
+    if instance is not None:
+        return instance
+    factory = _BACKEND_FACTORIES.get(key)
+    if factory is None:
+        known = ", ".join(kernel_backend_names()) or "<none>"
+        raise ConfigurationError(
+            f"unknown kernel backend {key!r}; registered: {known}"
+        )
+    try:
+        instance = factory()
+        instance.warmup()
+    except Exception as exc:
+        if key not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(key)
+            warnings.warn(
+                f"kernel backend {key!r} is unavailable ({exc!r}); "
+                f"falling back to 'numpy'",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        instance = resolve_kernel_backend("numpy")
+    _BACKEND_INSTANCES[key] = instance
+    return instance
+
+
+def configure_kernel_backend(name: str) -> str:
+    """Set the process-wide default kernel backend; returns the previous.
+
+    Engines resolve the default at construction time; existing engines
+    are unaffected.  The name must be registered (availability is
+    checked at resolution, where an unavailable compiled backend falls
+    back to ``numpy`` with a warning).
+    """
+    global _KERNEL_BACKEND_DEFAULT
+    key = str(name).strip().lower()
+    if key not in _BACKEND_FACTORIES:
+        known = ", ".join(kernel_backend_names()) or "<none>"
+        raise ConfigurationError(
+            f"unknown kernel backend {key!r}; registered: {known}"
+        )
+    previous = _KERNEL_BACKEND_DEFAULT
+    _KERNEL_BACKEND_DEFAULT = key
+    return previous
+
+
+def kernel_backend_default() -> str:
+    """Current process-wide default kernel backend name."""
+    return _KERNEL_BACKEND_DEFAULT
+
+
+def active_kernels() -> KernelBackend:
+    """The backend in effect on this thread (override, else default)."""
+    backend = getattr(_ACTIVE, "backend", None)
+    if backend is not None:
+        return backend
+    return resolve_kernel_backend(None)
+
+
+@contextmanager
+def use_kernel_backend(
+    backend: Optional[Union[str, KernelBackend]],
+) -> Iterator[KernelBackend]:
+    """Thread-locally install ``backend`` for the duration of the block.
+
+    The engine wraps each step in this so every op in the step's call
+    stack — ledger products, ``OverlayTree.length`` in the loop path,
+    ``LengthFunction.multiply_batch`` — sees the engine's configured
+    backend.  Thread-local, so concurrent solves on serve worker
+    threads never observe each other's override.
+    """
+    resolved = resolve_kernel_backend(backend)
+    previous = getattr(_ACTIVE, "backend", None)
+    _ACTIVE.backend = resolved
+    try:
+        yield resolved
+    finally:
+        _ACTIVE.backend = previous
+
+
+register_kernel_backend("numpy", KernelBackend)
+register_kernel_backend("ordered", OrderedKernelBackend)
+register_kernel_backend("numba", NumbaKernelBackend)
+
+
+def _initial_backend_name() -> str:
+    """The boot-time default: ``REPRO_KERNELS`` when set and registered."""
+    raw = os.environ.get(KERNELS_ENV_VAR, "").strip().lower()
+    if not raw:
+        return "numpy"
+    if raw not in _BACKEND_FACTORIES:
+        warnings.warn(
+            f"{KERNELS_ENV_VAR}={raw!r} names no registered kernel backend "
+            f"(known: {', '.join(kernel_backend_names())}); using 'numpy'",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "numpy"
+    return raw
+
+
+_KERNEL_BACKEND_DEFAULT = _initial_backend_name()

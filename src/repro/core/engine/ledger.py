@@ -30,13 +30,24 @@ every distinct tree across all sessions *and all steps* of a run:
 
 ``lengths @ M`` (:meth:`lengths_for`) and ``M @ weights``
 (:meth:`edge_values`) are the two products the engine needs per step.
-Both are **bit-identical** to the per-tree loops they replace:
-``lengths_for`` evaluates each column as the same contiguous
-``np.dot`` over the same values the tree's own
-:meth:`~repro.overlay.tree.OverlayTree.length` would use (dense
-full-``|E|`` dot below ``SPARSE_LENGTH_MIN_EDGES``, gathered sparse dot
-above it), and ``edge_values`` scatters with ``np.add.at`` in column
-order, which applies the additions in exactly the per-tree sequence.
+Both are **bit-identical** to the per-tree loops they replace — *under
+the active kernel backend* (:mod:`repro.core.engine.kernels`):
+
+* Under the default ``numpy`` backend, ``lengths_for`` evaluates each
+  column as the same contiguous ``np.dot`` over the same values the
+  tree's own :meth:`~repro.overlay.tree.OverlayTree.length` would use
+  (dense full-``|E|`` dot below ``SPARSE_LENGTH_MIN_EDGES``, gathered
+  sparse dot above it), and ``edge_values`` scatters with ``np.add.at``
+  in column order — exactly the per-tree sequence.
+* Under an *ordered* backend (``ordered``/``numba``), every reduction
+  is the pinned left-to-right sum over the stored entries, evaluated as
+  **one fused pass** (no Python per-column loop), and
+  ``OverlayTree.length`` follows the same order — so the stacked and
+  loop paths remain bit-identical to each other, while agreeing with
+  the ``numpy`` backend to floating-point round-off.  Under ordered
+  backends the one-pass all-columns kernel (:meth:`lengths_for_all`)
+  graduates into the solver paths: a round covering most of the ledger
+  is served straight off the contiguous stores with no gather at all.
 """
 
 from __future__ import annotations
@@ -45,6 +56,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.engine.kernels import active_kernels
 from repro.overlay.tree import SPARSE_LENGTH_MIN_EDGES, OverlayTree
 from repro.util.errors import ConfigurationError
 
@@ -99,6 +111,10 @@ class TreeLedger:
         self._indptr = np.zeros(max(2, int(initial_columns) + 1), dtype=np.int64)
         self._rows = np.empty(max(1, int(initial_entries)), dtype=np.int64)
         self._values = np.empty(max(1, int(initial_entries)), dtype=float)
+        # Column id of every stored entry — the bin vector the ordered
+        # backends' one-pass kernels reduce over (kept in lockstep with
+        # _rows/_values so no per-round segment-id build is needed).
+        self._entry_cols = np.empty(max(1, int(initial_entries)), dtype=np.int64)
         self._columns: Dict[Tuple, int] = {}
         self._trees: List[OverlayTree] = []
         self._buckets: Dict[int, List[int]] = {}
@@ -115,11 +131,14 @@ class TreeLedger:
             capacity *= 2
         rows = np.empty(capacity, dtype=np.int64)
         values = np.empty(capacity, dtype=float)
+        entry_cols = np.empty(capacity, dtype=np.int64)
         used = int(self._indptr[len(self._trees)])
         rows[:used] = self._rows[:used]
         values[:used] = self._values[:used]
+        entry_cols[:used] = self._entry_cols[:used]
         self._rows = rows
         self._values = values
+        self._entry_cols = entry_cols
 
     def _grow_columns(self, needed: int) -> None:
         if needed + 1 <= self._indptr.size:
@@ -156,6 +175,7 @@ class TreeLedger:
         self._grow_entries(start + rows.size)
         self._rows[start : start + rows.size] = rows
         self._values[start : start + values.size] = values
+        self._entry_cols[start : start + rows.size] = column
         self._indptr[column + 1] = start + rows.size
         self._columns[key] = column
         self._trees.append(tree)
@@ -217,20 +237,85 @@ class TreeLedger:
     # ------------------------------------------------------------------
     # the two engine products
     # ------------------------------------------------------------------
+    def _gathered_entries(
+        self, starts: np.ndarray, ends: np.ndarray, with_ids: bool = False
+    ):
+        """The requested columns' stored entries, concatenated.
+
+        When the columns occupy one contiguous run of the stores — the
+        common case, since engine rounds register consecutive columns —
+        this is a pair of direct slices (zero-copy views), skipping the
+        per-column ``np.concatenate`` list build entirely.  The
+        concatenated arrays are identical either way, so downstream
+        arithmetic is bit-identical.
+        """
+        if starts.size and bool(np.all(starts[1:] == ends[:-1])):
+            lo, hi = int(starts[0]), int(ends[-1])
+            rows = self._rows[lo:hi]
+            values = self._values[lo:hi]
+            if with_ids:
+                return rows, values, self._entry_cols[lo:hi]
+            return rows, values
+        pieces = list(zip(starts, ends))
+        rows = (
+            np.concatenate([self._rows[s:e] for s, e in pieces])
+            if pieces
+            else np.empty(0, dtype=np.int64)
+        )
+        values = (
+            np.concatenate([self._values[s:e] for s, e in pieces])
+            if pieces
+            else np.empty(0, dtype=float)
+        )
+        if with_ids:
+            ids = (
+                np.concatenate([self._entry_cols[s:e] for s, e in pieces])
+                if pieces
+                else np.empty(0, dtype=np.int64)
+            )
+            return rows, values, ids
+        return rows, values
+
     def lengths_for(
         self, columns: Sequence[int], edge_lengths: np.ndarray
     ) -> np.ndarray:
-        """``lengths @ M`` restricted to ``columns`` — one gather, C dots.
+        """``lengths @ M`` restricted to ``columns``.
 
-        Bit-identical per column to ``tree.length(edge_lengths)``: on
-        sparse-evaluation networks the gathered slice holds exactly the
-        tree's physical-edge lengths and the stored values are exactly
-        its usage values, so the contiguous ``np.dot`` is the same BLAS
-        reduction over the same operands; below the crossover each
-        column falls back to the tree's own dense full-``|E|`` dot.
+        Bit-identical per column to ``tree.length(edge_lengths)``
+        *under the active kernel backend*:
+
+        * ``numpy`` backend — one gather, then a contiguous ``np.dot``
+          per column: on sparse-evaluation networks the gathered slice
+          holds exactly the tree's physical-edge lengths and the stored
+          values are exactly its usage values, so each dot is the same
+          BLAS reduction over the same operands; below the crossover
+          each column falls back to the tree's own dense full-``|E|``
+          dot.
+        * ordered backends (``ordered``/``numba``) — one fused
+          gather+reduce pass in the pinned left-to-right order (no
+          Python per-column loop), matching the backend-routed
+          ``OverlayTree.length``.  A round covering at least half the
+          ledger is served by the graduated all-columns kernel
+          (:meth:`lengths_for_all`) straight off the contiguous stores,
+          which computes identical bits per column.
+
+        Ordered evaluation assumes the requested ``columns`` are
+        distinct (engine rounds pick one tree per oracle, so they are
+        by construction).
         """
         lengths = np.asarray(edge_lengths, dtype=float)
         cols = np.asarray(columns, dtype=np.int64)
+        backend = active_kernels()
+        if backend.ordered and self.num_columns:
+            if cols.size == 0:
+                return np.empty(0, dtype=float)
+            if 2 * cols.size >= self.num_columns:
+                return self.lengths_for_all(lengths)[cols]
+            starts, ends = self.column_slices(cols)
+            rows, values, ids = self._gathered_entries(starts, ends, with_ids=True)
+            return backend.column_lengths(
+                rows, values, ids, self.num_columns, lengths
+            )[cols]
         out = np.empty(cols.size, dtype=float)
         if not self._sparse:
             for i in range(cols.size):
@@ -239,18 +324,14 @@ class TreeLedger:
         starts, ends = self.column_slices(cols)
         # One fancy-index gather covering every requested column's rows,
         # then a contiguous dot per column over its slice.
-        gather = (
-            np.concatenate([self._rows[s:e] for s, e in zip(starts, ends)])
-            if cols.size
-            else np.empty(0, dtype=np.int64)
-        )
-        gathered = lengths[gather]
+        rows, values = self._gathered_entries(starts, ends)
+        gathered = lengths[rows]
         offset = 0
         for i in range(cols.size):
             count = int(ends[i] - starts[i])
             out[i] = float(
                 np.dot(
-                    self._values[starts[i] : ends[i]],
+                    values[offset : offset + count],
                     gathered[offset : offset + count],
                 )
             )
@@ -266,11 +347,15 @@ class TreeLedger:
         """``M @ diag(weights)`` summed over ``columns`` — one scatter.
 
         ``out[e] = sum_t M[e, t] * weights[t]`` over the requested
-        columns.  ``np.add.at`` applies the additions sequentially in
-        array order — column by column, each column's edges in stored
-        order — exactly the accumulation sequence of the per-tree
+        columns.  The scatter accumulates sequentially in array order —
+        column by column, each column's edges in stored order — exactly
+        the accumulation sequence of the per-tree
         ``out[tree.physical_edges] += tree.usage_values * w`` loop, so
-        results are bit-identical to it.
+        results are bit-identical to it under every backend: the
+        ``numpy`` backend applies ``np.add.at``; ordered backends
+        replace it with one ``np.bincount`` pass (fresh output) or a
+        compiled sequential loop, both of which perform the identical
+        in-order addition sequence.
         """
         cols = np.asarray(columns, dtype=np.int64)
         w = np.asarray(weights, dtype=float)
@@ -279,39 +364,69 @@ class TreeLedger:
                 f"columns and weights must have matching shapes, got "
                 f"{cols.shape} and {w.shape}"
             )
+        fresh = out is None
         if out is None:
             out = np.zeros(self._num_edges, dtype=float)
         if cols.size == 0:
             return out
         starts, ends = self.column_slices(cols)
-        rows = np.concatenate([self._rows[s:e] for s, e in zip(starts, ends)])
-        values = np.concatenate(
-            [self._values[s:e] * w[i] for i, (s, e) in enumerate(zip(starts, ends))]
-        )
-        np.add.at(out, rows, values)
-        return out
+        rows, values = self._gathered_entries(starts, ends)
+        # Per-entry scale: value * its column's weight — the identical
+        # elementwise multiplications of the per-column list build.
+        scaled = np.repeat(w, ends - starts) * values
+        backend = active_kernels()
+        if fresh:
+            return backend.scatter_add_fresh(out, rows, scaled)
+        return backend.scatter_add(out, rows, scaled)
 
     # ------------------------------------------------------------------
-    # bucketed throughput kernel (benchmarks / bulk analytics)
+    # all-columns kernel (graduated into solver paths under ordered
+    # backends; benchmarks / bulk analytics under numpy)
     # ------------------------------------------------------------------
     def lengths_for_all(self, edge_lengths: np.ndarray) -> np.ndarray:
-        """All column lengths via the padded degree-bucketed 2-D kernel.
+        """All column lengths in one pass over the contiguous stores.
 
-        Pads each bucket's columns to the bucket's maximum footprint
-        (bounded 2x waste by construction) and reduces with one 2-D
-        gather + row-sum per bucket.  Throughput path for benchmarks and
-        bulk analytics: the row-sum's pairwise reduction order differs
-        from the solver dots, so results agree to floating-point
-        round-off (``allclose``), not bitwise — solver paths use
-        :meth:`lengths_for`.
+        Under an ordered backend this is the graduated solver kernel:
+        one fused products+reduce pass in the pinned left-to-right
+        order, bit-identical per column to :meth:`lengths_for` and to
+        the backend-routed ``OverlayTree.length`` — no gather, no
+        padding, no Python per-column loop.
+
+        Under the ``numpy`` backend it remains the padded
+        degree-bucketed 2-D kernel: each bucket's columns pad to the
+        bucket's maximum footprint (bounded 2x waste by construction)
+        and reduce with one 2-D gather + row-sum per bucket.  The
+        row-sum's pairwise reduction order differs from the solver
+        dots, so numpy-backend results agree with :meth:`lengths_for`
+        to floating-point round-off (``allclose``), not bitwise —
+        numpy-backend solver paths use :meth:`lengths_for`.
         """
         lengths = np.asarray(edge_lengths, dtype=float)
+        backend = active_kernels()
+        if backend.ordered:
+            nnz = self.nnz
+            return backend.column_lengths(
+                self._rows[:nnz],
+                self._values[:nnz],
+                self._entry_cols[:nnz],
+                self.num_columns,
+                lengths,
+            )
         out = np.empty(len(self._trees), dtype=float)
+        if self.nnz == 0:
+            # Every registered column has an empty footprint: the
+            # padded gather below would clamp indices to nnz - 1 == -1
+            # and read past the stores; all lengths are exactly zero.
+            out[:] = 0.0
+            return out
         for _, columns in sorted(self._buckets.items()):
             cols = np.asarray(columns, dtype=np.int64)
             starts, ends = self.column_slices(cols)
             counts = ends - starts
             width = int(counts.max())
+            if width == 0:
+                out[cols] = 0.0
+                continue
             # Padded row/value blocks: lanes beyond a column's footprint
             # point at row 0 with value 0.0, contributing exact zeros.
             offsets = starts[:, None] + np.arange(width)[None, :]

@@ -29,6 +29,24 @@ from repro.util.errors import ConfigurationError
 # products of thousands of (1 + eps) factors never overflow.
 _RENORM_THRESHOLD = 1e200
 
+# Lazily bound ``repro.core.engine.kernels.active_kernels``.  The engine
+# package imports this module, so a top-level import here would re-enter
+# a partially initialised package; the first batched update binds the
+# function instead (``False`` marks the unresolved state).
+_ACTIVE_KERNELS = False
+
+
+def _active_kernels():
+    """The active kernel backend, or ``None`` while kernels can't load."""
+    global _ACTIVE_KERNELS
+    if _ACTIVE_KERNELS is False:
+        try:
+            from repro.core.engine.kernels import active_kernels
+        except ImportError:  # pragma: no cover - circular-import window
+            return None
+        _ACTIVE_KERNELS = active_kernels
+    return _ACTIVE_KERNELS()
+
 
 def epsilon_for_ratio(ratio: float, slack_factor: float = 2.0) -> float:
     """Map a target approximation ratio to the FPTAS parameter ``epsilon``.
@@ -237,7 +255,11 @@ class LengthFunction:
                 "length update factors must be positive and finite"
             )
         if assume_unique:
-            self._rel[edge_ids] *= factors
+            backend = _active_kernels()
+            if backend is not None:
+                backend.multiply_unique(self._rel, edge_ids, factors)
+            else:  # pragma: no cover - circular-import window
+                self._rel[edge_ids] *= factors
             self._renormalize()
             return
         self._multiply_batch_checked(edge_ids, factors)
@@ -252,8 +274,12 @@ class LengthFunction:
         between), restoring the loop's robustness at ~log cost.
         """
         rel_before = self._rel.copy()
+        backend = _active_kernels()
         with np.errstate(over="ignore"):
-            np.multiply.at(self._rel, edge_ids, factors)
+            if backend is not None:
+                backend.multiply_at(self._rel, edge_ids, factors)
+            else:  # pragma: no cover - circular-import window
+                np.multiply.at(self._rel, edge_ids, factors)
         if not np.all(np.isfinite(self._rel)):
             # Restore in place: callers may hold .relative views, which
             # every other mutator keeps live by never rebinding _rel.

@@ -74,6 +74,12 @@ class MaxConcurrentFlowConfig:
         length flushes) in the main run and the pre-scaling MaxFlow
         runs.  ``None`` = process default (on).  Purely a performance
         switch; results are bit-identical either way.
+    kernel_backend:
+        Kernel backend for the ledger/length hot ops in the main run and
+        the pre-scaling MaxFlow runs (``None`` = process default; see
+        :mod:`repro.core.engine.kernels`).  Results are bit-identical
+        loop-vs-stacked *per backend*; ordered backends pin their own
+        accumulation order.
     max_events:
         Bound on the main run's retained instrumentation event log
         (``None`` = engine default).  Telemetry capacity only; never
@@ -87,6 +93,7 @@ class MaxConcurrentFlowConfig:
     memoize: Optional[bool] = None
     prescale_jobs: Optional[int] = None
     stacked_trees: Optional[bool] = None
+    kernel_backend: Optional[str] = None
     max_events: Optional[int] = None
 
     def resolved_epsilon(self) -> float:
@@ -105,15 +112,15 @@ class MaxConcurrentFlowConfig:
 
 
 # Per-process pre-scaling context (routing, epsilon, memoize,
-# stacked_trees), installed by the pool initializer so it is pickled once
-# per worker rather than once per session task.
+# stacked_trees, kernel_backend), installed by the pool initializer so it
+# is pickled once per worker rather than once per session task.
 _prescale_context: Optional[
-    Tuple[RoutingModel, float, Optional[bool], Optional[bool]]
+    Tuple[RoutingModel, float, Optional[bool], Optional[bool], Optional[str]]
 ] = None
 
 
 def _set_prescale_context(
-    context: Tuple[RoutingModel, float, Optional[bool], Optional[bool]]
+    context: Tuple[RoutingModel, float, Optional[bool], Optional[bool], Optional[str]]
 ) -> None:
     """Install the shared pre-scaling context in this process."""
     global _prescale_context
@@ -122,11 +129,16 @@ def _set_prescale_context(
 
 def _standalone_rate_cell(session: Session) -> Tuple[float, int]:
     """Solve one session's standalone MaxFlow (module-level for pickling)."""
-    routing, epsilon, memoize, stacked_trees = _prescale_context
+    routing, epsilon, memoize, stacked_trees, kernel_backend = _prescale_context
     solution = MaxFlow(
         [session],
         routing,
-        MaxFlowConfig(epsilon=epsilon, memoize=memoize, stacked_trees=stacked_trees),
+        MaxFlowConfig(
+            epsilon=epsilon,
+            memoize=memoize,
+            stacked_trees=stacked_trees,
+            kernel_backend=kernel_backend,
+        ),
     ).solve()
     return solution.sessions[0].rate, solution.oracle_calls
 
@@ -176,6 +188,7 @@ class MaxConcurrentFlow:
             self._config.prescale_epsilon,
             self._config.memoize,
             self._config.stacked_trees,
+            self._config.kernel_backend,
         )
         in_child_process = multiprocessing.parent_process() is not None
         workers = 1 if in_child_process else min(
@@ -256,6 +269,7 @@ class MaxConcurrentFlow:
             step_cap=step_cap,
             cap_message=f"MaxConcurrentFlow exceeded the step cap of {step_cap}",
             stacked_trees=self._config.stacked_trees,
+            kernel_backend=self._config.kernel_backend,
             instrumentation=(
                 Instrumentation(max_events=self._config.max_events)
                 if self._config.max_events is not None

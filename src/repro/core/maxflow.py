@@ -67,6 +67,14 @@ class MaxFlowConfig:
         updates flush as one deduplicated batch per step.  ``None`` =
         process default (on).  Purely a performance switch; results are
         bit-identical either way.
+    kernel_backend:
+        Kernel backend for the ledger/length hot ops (``None`` = process
+        default, usually ``"numpy"``; see
+        :mod:`repro.core.engine.kernels`).  ``"numba"`` falls back to
+        ``"numpy"`` with a one-time warning when numba is absent.
+        Ordered backends pin a left-to-right accumulation order, so
+        results are bit-identical *per backend* (loop vs. stacked), not
+        across backends.
     max_events:
         Bound on the run's retained instrumentation event log (``None``
         = engine default).  Telemetry capacity only; never changes the
@@ -79,6 +87,7 @@ class MaxFlowConfig:
     memoize: Optional[bool] = None
     batch_oracle: Optional[bool] = None
     stacked_trees: Optional[bool] = None
+    kernel_backend: Optional[str] = None
     max_events: Optional[int] = None
 
     def resolved_epsilon(self) -> float:
@@ -156,6 +165,7 @@ class MaxFlow:
             cap_message=f"MaxFlow exceeded the iteration cap of {iteration_cap}",
             batch_oracle=self._config.batch_oracle,
             stacked_trees=self._config.stacked_trees,
+            kernel_backend=self._config.kernel_backend,
             instrumentation=(
                 Instrumentation(max_events=self._config.max_events)
                 if self._config.max_events is not None

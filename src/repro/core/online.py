@@ -59,6 +59,11 @@ class OnlineConfig:
         a single ledger product.  ``None`` = process default (on).
         Purely a performance switch; results are bit-identical either
         way.
+    kernel_backend:
+        Kernel backend for the ledger/length hot ops (``None`` = process
+        default; see :mod:`repro.core.engine.kernels`).  Routing
+        decisions are bit-identical loop-vs-stacked *per backend*;
+        ordered backends pin their own accumulation order.
     max_events:
         Bound on the run's retained instrumentation event log (``None``
         = engine default).  Telemetry capacity only; never changes the
@@ -69,6 +74,7 @@ class OnlineConfig:
     apply_no_bottleneck_scaling: bool = False
     memoize: Optional[bool] = None
     stacked_trees: Optional[bool] = None
+    kernel_backend: Optional[str] = None
     max_events: Optional[int] = None
 
     def validate(self) -> None:
@@ -126,6 +132,7 @@ class OnlineMinCongestion:
                 session, self._routing, memoize=self._config.memoize
             ),
             stacked_trees=self._config.stacked_trees,
+            kernel_backend=self._config.kernel_backend,
             instrumentation=(
                 Instrumentation(max_events=self._config.max_events)
                 if self._config.max_events is not None

@@ -15,8 +15,14 @@ from one PR to the next:
   over the tree's physical edges (:meth:`OverlayTree.length`) versus the
   dense full-``|E|`` dot product it replaced, plus the dense/sparse
   **crossover sweep** backing ``SPARSE_LENGTH_MIN_EDGES`` and the
-  **ledger round** arm (one :meth:`TreeLedger.lengths_for` gather for a
-  whole round versus the per-tree ``length`` loop),
+  **ledger round** arm (one :meth:`TreeLedger.lengths_for` call under
+  the best available kernel backend for a whole round versus the
+  per-tree ``length`` loop),
+* the **ledger kernel** ablation: the three ledger hot ops — round
+  lengths, the ``edge_values`` scatter, and the all-columns
+  ``lengths_for_all`` kernel — timed on the ``numpy`` backend versus
+  the best available backend (``numba`` when importable, else the
+  pure-NumPy ``ordered`` backend; the ``backend`` field records which),
 * the **length-update batching** ablation: one
   :meth:`LengthFunction.multiply_batch` call over an accumulated batch
   of (edge, factor) updates versus the per-step ``multiply`` loop it
@@ -82,7 +88,7 @@ from repro.util.errors import ConfigurationError
 from repro.util.rng import ensure_rng
 from repro.util.serialization import dump_json
 
-BENCH_SCHEMA = "BENCH_core/v7"
+BENCH_SCHEMA = "BENCH_core/v8"
 _KNOWN_SCHEMAS = (
     "BENCH_core/v1",
     "BENCH_core/v2",
@@ -90,8 +96,24 @@ _KNOWN_SCHEMAS = (
     "BENCH_core/v4",
     "BENCH_core/v5",
     "BENCH_core/v6",
+    "BENCH_core/v7",
     BENCH_SCHEMA,
 )
+
+
+def _best_kernel_backend() -> str:
+    """The fastest available kernel backend name for the bench arms.
+
+    ``numba`` when importable, else the pure-NumPy ``ordered`` backend —
+    the compiled arm of the ``ledger_kernel`` section always records
+    which backend actually ran (``backend`` field), so trajectories
+    from numba-less environments stay honestly labelled.
+    """
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return "ordered"
+    return "numba"
 
 
 @dataclass(frozen=True)
@@ -370,14 +392,18 @@ def _timed_ledger_round(profile: PerfProfile) -> Dict[str, float]:
 
     Both arms evaluate the same trees under the same length vector — the
     work of one engine query round.  The ledger arm is one
-    :meth:`~repro.core.engine.TreeLedger.lengths_for` call (one gather
-    over the round's concatenated columns); the loop arm calls
-    :meth:`OverlayTree.length` per tree.  Results are bit-identical
-    (asserted in ``tests/test_tree_ledger.py``); here we only time.
-    Measured on the ``length_bench_nodes`` topology, large enough for
-    the sparse/ledger regime to engage.
+    :meth:`~repro.core.engine.TreeLedger.lengths_for` call under the
+    best available kernel backend (``numba`` when importable, else the
+    pure-NumPy ``ordered`` backend — the ``backend`` field records
+    which); the loop arm calls :meth:`OverlayTree.length` per tree under
+    the default ``numpy`` backend.  The historical per-column-BLAS-dots
+    path stays recorded as ``numpy_ledger_seconds``.  Per-backend
+    bit-identity is asserted in ``tests/test_tree_ledger.py`` and
+    ``tests/test_kernel_backends.py``; here we only time.  Measured on
+    the ``length_bench_nodes`` topology, large enough for the
+    sparse/ledger regime to engage.
     """
-    from repro.core.engine import TreeLedger
+    from repro.core.engine import TreeLedger, resolve_kernel_backend, use_kernel_backend
 
     network = paper_flat_topology(
         num_nodes=profile.length_bench_nodes, capacity=100.0, seed=profile.seed
@@ -394,11 +420,19 @@ def _timed_ledger_round(profile: PerfProfile) -> Dict[str, float]:
     columns = [ledger.register(tree) for tree in trees]
     lengths = ensure_rng(1).uniform(0.1, 1.0, network.num_edges)
     rounds = profile.ledger_rounds
+    backend = resolve_kernel_backend(_best_kernel_backend())
+    backend.warmup()
+
+    with use_kernel_backend(backend):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            ledger.lengths_for(columns, lengths)
+        ledger_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
     for _ in range(rounds):
         ledger.lengths_for(columns, lengths)
-    ledger_seconds = time.perf_counter() - start
+    numpy_ledger_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
     for _ in range(rounds):
@@ -409,12 +443,97 @@ def _timed_ledger_round(profile: PerfProfile) -> Dict[str, float]:
         "trees": float(len(trees)),
         "rounds": float(rounds),
         "num_edges": float(network.num_edges),
+        "backend": backend.name,
         "ledger_seconds": ledger_seconds,
+        "numpy_ledger_seconds": numpy_ledger_seconds,
         "loop_seconds": loop_seconds,
         "ledger_rounds_per_sec": rounds / ledger_seconds if ledger_seconds > 0 else 0.0,
         "loop_rounds_per_sec": rounds / loop_seconds if loop_seconds > 0 else 0.0,
         "ledger_round_speedup": loop_seconds / ledger_seconds if ledger_seconds > 0 else 0.0,
+        "numpy_ledger_round_speedup": (
+            loop_seconds / numpy_ledger_seconds if numpy_ledger_seconds > 0 else 0.0
+        ),
     }
+
+
+def _timed_ledger_kernel(profile: PerfProfile) -> Dict[str, object]:
+    """The kernel-backend ablation over the three ledger hot ops.
+
+    Times the ``numpy`` backend (the historical code paths: per-column
+    BLAS dots, ``np.add.at`` scatter, padded bucketed 2-D all-columns
+    kernel) against the best available backend (``numba`` when
+    importable, else the pure-NumPy ``ordered`` backend; the ``backend``
+    field records which) on the same ledger the ``tree_length.ledger``
+    section measures:
+
+    * ``round_lengths`` — one engine round's
+      :meth:`~repro.core.engine.TreeLedger.lengths_for` call,
+    * ``scatter`` — the flow-extraction
+      :meth:`~repro.core.engine.TreeLedger.edge_values` scatter,
+    * ``lengths_for_all`` — the all-columns kernel (under ordered
+      backends this is the graduated solver path).
+
+    The compiled arms win by replacing Python per-column loops and the
+    known-slow ``np.add.at`` ufunc path with one fused pass; the regime
+    is small-footprint columns (tens of entries), where per-call Python
+    overhead dominates — very large footprints favour BLAS dots, which
+    is why the numpy backend stays the default.  Per-op bit-identity to
+    the sequential reference is asserted in
+    ``tests/test_kernel_backends.py``; here we only time.
+    """
+    from repro.core.engine import TreeLedger, resolve_kernel_backend, use_kernel_backend
+
+    network = paper_flat_topology(
+        num_nodes=profile.length_bench_nodes, capacity=100.0, seed=profile.seed
+    )
+    rng = ensure_rng(profile.seed + 8)
+    routing = FixedIPRouting(network)
+    ledger = TreeLedger(network.num_edges)
+    trees = []
+    for _ in range(profile.ledger_trees):
+        session = random_session(network, 6, demand=100.0, seed=rng)
+        oracle = MinimumOverlayTreeOracle(session, routing)
+        oracle.attach_ledger(ledger)
+        trees.append(oracle.select_tree(rng.uniform(0.1, 1.0, network.num_edges)))
+    columns = [ledger.register(tree) for tree in trees]
+    lengths = ensure_rng(1).uniform(0.1, 1.0, network.num_edges)
+    weights = ensure_rng(2).uniform(0.5, 2.0, len(columns))
+    rounds = profile.ledger_rounds
+    numpy_backend = resolve_kernel_backend("numpy")
+    fast_backend = resolve_kernel_backend(_best_kernel_backend())
+    fast_backend.warmup()
+
+    def timed(op, backend) -> float:
+        with use_kernel_backend(backend):
+            op()  # warm: one untimed call absorbs any lazy setup
+            start = time.perf_counter()
+            for _ in range(rounds):
+                op()
+            return time.perf_counter() - start
+
+    ops = {
+        "round_lengths": lambda: ledger.lengths_for(columns, lengths),
+        "scatter": lambda: ledger.edge_values(columns, weights),
+        "lengths_for_all": lambda: ledger.lengths_for_all(lengths),
+    }
+    result: Dict[str, object] = {
+        "trees": float(len(trees)),
+        "rounds": float(rounds),
+        "num_edges": float(network.num_edges),
+        "nnz": float(ledger.nnz),
+        "backend": fast_backend.name,
+    }
+    for name, op in ops.items():
+        numpy_seconds = timed(op, numpy_backend)
+        compiled_seconds = timed(op, fast_backend)
+        result[name] = {
+            "numpy_seconds": numpy_seconds,
+            "compiled_seconds": compiled_seconds,
+            "compiled_speedup": (
+                numpy_seconds / compiled_seconds if compiled_seconds > 0 else 0.0
+            ),
+        }
+    return result
 
 
 def _timed_multiply_batch(profile: PerfProfile) -> Dict[str, float]:
@@ -980,6 +1099,7 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
         network, sessions, "dynamic", profile.dynamic_ratio, memoize=True
     )
     tree_length = _timed_tree_length(profile)
+    ledger_kernel = _timed_ledger_kernel(profile)
     length_multiply = _timed_multiply_batch(profile)
     oracle_batch = _timed_oracle_batch(profile)
     dynamic_oracle = _timed_dynamic_oracle(profile)
@@ -1013,6 +1133,7 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
             "memoized": dynamic_memoized,
         },
         "tree_length": tree_length,
+        "ledger_kernel": ledger_kernel,
         "length_multiply": length_multiply,
         "oracle_batch": oracle_batch,
         "dynamic_oracle": dynamic_oracle,
@@ -1049,6 +1170,20 @@ def _history_entry(record: Dict[str, object]) -> Dict[str, object]:
         ledger = tree_length.get("ledger", {})
         if ledger:
             entry["ledger_round_speedup"] = ledger.get("ledger_round_speedup")
+            if "backend" in ledger:
+                entry["ledger_round_backend"] = ledger.get("backend")
+    ledger_kernel = record.get("ledger_kernel", {})
+    if ledger_kernel:
+        entry["ledger_kernel_backend"] = ledger_kernel.get("backend")
+        entry["ledger_kernel_round_speedup"] = ledger_kernel.get(
+            "round_lengths", {}
+        ).get("compiled_speedup")
+        entry["ledger_kernel_scatter_speedup"] = ledger_kernel.get("scatter", {}).get(
+            "compiled_speedup"
+        )
+        entry["ledger_kernel_all_speedup"] = ledger_kernel.get(
+            "lengths_for_all", {}
+        ).get("compiled_speedup")
     length_multiply = record.get("length_multiply", {})
     if length_multiply:
         entry["multiply_batched_updates_per_sec"] = length_multiply.get(

@@ -1,0 +1,498 @@
+"""Kernel-backend conformance suite.
+
+The kernel registry (:mod:`repro.core.engine.kernels`) promises three
+things, and this suite pins each:
+
+1. **Op-level bit identity.**  Ordered backends (``ordered``, and
+   ``numba`` when importable) compute every reduction as the exact
+   left-to-right sequential sum — each op is compared bitwise against
+   an explicit Python ``for``-loop oracle, which is the definition of
+   that order.  This is also where the NumPy primitive assumptions are
+   enforced: ``np.bincount`` accumulating per bin in input order and
+   ``np.cumsum``'s last element being the running sum are load-bearing,
+   and a NumPy upgrade that re-associates either breaks here first.
+2. **Solver-level bit identity per backend.**  The stacked ledger path
+   and the per-tree loop path must agree bitwise under *every*
+   registered backend — the same 4 solvers x 2 routings x stacked
+   on/off matrix as ``tests/test_tree_ledger.py``, re-run per backend,
+   with the compiled leg guarded by ``pytest.importorskip("numba")``.
+3. **Registry/knob semantics.**  Registration, duplicate detection,
+   the process default (``configure_kernel_backend`` / ``REPRO_KERNELS``),
+   the per-solver ``kernel_backend`` knob surfacing in instrumentation,
+   the thread-local override, and the one-time-warning fallback to
+   ``numpy`` when an optional backend is unavailable.
+"""
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api.registry import (
+    solve_max_concurrent_flow_instance,
+    solve_max_flow_instance,
+    solve_online_instance,
+    solve_randomized_rounding_instance,
+)
+from repro.core.engine import kernels as kernels_mod
+from repro.core.engine.kernels import (
+    KernelBackend,
+    OrderedKernelBackend,
+    active_kernels,
+    configure_kernel_backend,
+    kernel_backend_default,
+    kernel_backend_names,
+    register_kernel_backend,
+    resolve_kernel_backend,
+    unregister_kernel_backend,
+    use_kernel_backend,
+)
+from repro.routing.dynamic import DynamicRouting
+from repro.routing.ip_routing import FixedIPRouting
+from repro.util.errors import ConfigurationError
+
+
+def _numba_available() -> bool:
+    try:
+        import numba  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+@pytest.fixture(params=sorted(kernel_backend_names()))
+def backend_name(request):
+    """Every registered backend; the compiled leg skips when absent."""
+    if request.param == "numba":
+        pytest.importorskip("numba")
+    return request.param
+
+
+@pytest.fixture(params=["ordered", "numba"])
+def ordered_backend(request):
+    """The two backends contracted to the left-to-right order."""
+    if request.param == "numba":
+        pytest.importorskip("numba")
+    backend = resolve_kernel_backend(request.param)
+    backend.warmup()
+    return backend
+
+
+def _segment_case(seed, num_columns=37, num_edges=211, mean_footprint=9):
+    """Random CSC-style entries: contiguous per-column runs, in order.
+
+    Lengths span ~16 decades so any re-association of the sum changes
+    the low-order bits — the case that catches a pairwise/SIMD backend
+    masquerading as ordered.
+    """
+    rng = np.random.default_rng(seed)
+    counts = rng.poisson(mean_footprint, size=num_columns)
+    ids = np.repeat(np.arange(num_columns, dtype=np.int64), counts)
+    total = int(counts.sum())
+    rows = rng.integers(0, num_edges, size=total, dtype=np.int64)
+    values = rng.integers(1, 5, size=total).astype(float)
+    lengths = rng.uniform(0.5, 2.0, size=num_edges) * 10.0 ** rng.integers(
+        -8, 8, size=num_edges
+    )
+    return rows, values, ids, num_columns, num_edges, lengths
+
+
+# ----------------------------------------------------------------------
+# 1. op-level bit identity against explicit sequential loops
+# ----------------------------------------------------------------------
+def _loop_column_lengths(rows, values, ids, num_columns, lengths):
+    out = np.zeros(num_columns, dtype=float)
+    for k in range(rows.size):
+        out[ids[k]] += values[k] * lengths[rows[k]]
+    return out
+
+
+def _loop_tree_length(rows, values, lengths):
+    total = 0.0
+    for k in range(rows.size):
+        total += values[k] * lengths[rows[k]]
+    return total
+
+
+def _loop_scatter_add(out, rows, values):
+    for k in range(rows.size):
+        out[rows[k]] += values[k]
+    return out
+
+
+def _loop_multiply_at(rel, edge_ids, factors):
+    for k in range(edge_ids.size):
+        rel[edge_ids[k]] *= factors[k]
+
+
+class TestOrderedOpBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_column_lengths_is_the_sequential_sum(self, ordered_backend, seed):
+        rows, values, ids, ncols, _, lengths = _segment_case(seed)
+        got = ordered_backend.column_lengths(rows, values, ids, ncols, lengths)
+        want = _loop_column_lengths(rows, values, ids, ncols, lengths)
+        assert got.shape == (ncols,)
+        assert np.array_equal(got, want)  # bitwise, not allclose
+
+    def test_column_lengths_empty_entries(self, ordered_backend):
+        empty_i = np.empty(0, dtype=np.int64)
+        empty_f = np.empty(0, dtype=float)
+        got = ordered_backend.column_lengths(
+            empty_i, empty_f, empty_i, 5, np.ones(7)
+        )
+        assert np.array_equal(got, np.zeros(5))
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_tree_length_is_the_sequential_sum(self, ordered_backend, seed):
+        rows, values, _, _, _, lengths = _segment_case(seed)
+        got = ordered_backend.tree_length(rows, values, lengths)
+        assert got == _loop_tree_length(rows, values, lengths)
+        assert ordered_backend.tree_length(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=float), lengths
+        ) == 0.0
+
+    def test_scatter_add_fresh_is_the_sequential_scatter(self, ordered_backend):
+        rows, values, _, _, num_edges, _ = _segment_case(5)
+        got = ordered_backend.scatter_add_fresh(
+            np.zeros(num_edges), rows, values
+        )
+        want = _loop_scatter_add(np.zeros(num_edges), rows, values)
+        assert np.array_equal(got, want)
+
+    def test_scatter_add_accumulates_into_existing(self, ordered_backend):
+        rows, values, _, _, num_edges, _ = _segment_case(6)
+        base = np.linspace(0.25, 3.0, num_edges)
+        got = ordered_backend.scatter_add(base.copy(), rows, values)
+        want = _loop_scatter_add(base.copy(), rows, values)
+        assert np.array_equal(got, want)
+
+    def test_multiply_at_handles_duplicates_in_order(self, ordered_backend):
+        rng = np.random.default_rng(7)
+        rel = rng.uniform(0.5, 2.0, 64)
+        edge_ids = rng.integers(0, 64, size=200, dtype=np.int64)  # duplicates
+        factors = rng.uniform(0.9, 1.1, size=200)
+        got = rel.copy()
+        ordered_backend.multiply_at(got, edge_ids, factors)
+        want = rel.copy()
+        _loop_multiply_at(want, edge_ids, factors)
+        assert np.array_equal(got, want)
+
+    def test_multiply_unique_matches_fancy_multiply(self, ordered_backend):
+        rng = np.random.default_rng(8)
+        rel = rng.uniform(0.5, 2.0, 64)
+        edge_ids = rng.permutation(64)[:20].astype(np.int64)
+        factors = rng.uniform(0.9, 1.1, size=20)
+        got = rel.copy()
+        ordered_backend.multiply_unique(got, edge_ids, factors)
+        want = rel.copy()
+        want[edge_ids] *= factors
+        assert np.array_equal(got, want)
+
+
+class TestNumpyBackendScattersStaySequential:
+    """The numpy backend's scatter/multiply ops are ``np.add.at`` /
+    ``np.multiply.at`` — contractually in input order too."""
+
+    def test_scatter_and_multiply_match_loops(self):
+        backend = resolve_kernel_backend("numpy")
+        rows, values, _, _, num_edges, _ = _segment_case(9)
+        got = backend.scatter_add(np.zeros(num_edges), rows, values)
+        assert np.array_equal(got, _loop_scatter_add(np.zeros(num_edges), rows, values))
+        rng = np.random.default_rng(10)
+        rel = rng.uniform(0.5, 2.0, 32)
+        ids = rng.integers(0, 32, size=90, dtype=np.int64)
+        factors = rng.uniform(0.9, 1.1, size=90)
+        got_rel, want_rel = rel.copy(), rel.copy()
+        backend.multiply_at(got_rel, ids, factors)
+        _loop_multiply_at(want_rel, ids, factors)
+        assert np.array_equal(got_rel, want_rel)
+
+
+@pytest.mark.skipif(not _numba_available(), reason="numba not installed")
+def test_numba_matches_ordered_reference_bitwise():
+    """The compiled backend is bit-identical to the pure-NumPy oracle."""
+    numba_backend = resolve_kernel_backend("numba")
+    ordered = resolve_kernel_backend("ordered")
+    assert numba_backend.name == "numba" and numba_backend.compiled
+    for seed in range(3):
+        rows, values, ids, ncols, num_edges, lengths = _segment_case(seed)
+        assert np.array_equal(
+            numba_backend.column_lengths(rows, values, ids, ncols, lengths),
+            ordered.column_lengths(rows, values, ids, ncols, lengths),
+        )
+        assert numba_backend.tree_length(rows, values, lengths) == ordered.tree_length(
+            rows, values, lengths
+        )
+        assert np.array_equal(
+            numba_backend.scatter_add_fresh(np.zeros(num_edges), rows, values),
+            ordered.scatter_add_fresh(np.zeros(num_edges), rows, values),
+        )
+
+
+# ----------------------------------------------------------------------
+# 2. solver equivalence matrix, per backend
+# ----------------------------------------------------------------------
+def fingerprint(solution):
+    """Everything the paper reports about a solution, exactly."""
+    return {
+        "algorithm": solution.algorithm,
+        "epsilon": solution.epsilon,
+        "oracle_calls": solution.oracle_calls,
+        "rates": [s.rate for s in solution.sessions],
+        "names": [s.session.name for s in solution.sessions],
+        "num_trees": solution.num_trees_per_session,
+        "flows": [
+            sorted((tf.tree.canonical_key(), tf.flow) for tf in s.tree_flows)
+            for s in solution.sessions
+        ],
+        "edge_flows": solution.edge_flows().tolist(),
+        "extra": dict(solution.extra),
+    }
+
+
+@pytest.fixture(scope="module")
+def kernel_sessions():
+    from repro.overlay.session import Session
+
+    return [
+        Session((0, 4, 9, 13), demand=100.0, name="s1"),
+        Session((2, 7, 20), demand=100.0, name="s2"),
+    ]
+
+
+@pytest.mark.parametrize("routing_cls", [FixedIPRouting, DynamicRouting])
+class TestBackendEquivalenceMatrix:
+    """Stacked vs loop stays bitwise identical under every backend."""
+
+    def test_max_flow(self, waxman_network, kernel_sessions, routing_cls, backend_name):
+        runs = [
+            solve_max_flow_instance(
+                kernel_sessions,
+                routing_cls(waxman_network),
+                epsilon=0.15,
+                stacked_trees=stacked,
+                kernel_backend=backend_name,
+            )
+            for stacked in (True, False)
+        ]
+        assert fingerprint(runs[0]) == fingerprint(runs[1])
+        assert runs[0].instrumentation["kernel_backend"] == backend_name
+
+    def test_max_concurrent_flow(
+        self, waxman_network, kernel_sessions, routing_cls, backend_name
+    ):
+        runs = [
+            solve_max_concurrent_flow_instance(
+                kernel_sessions,
+                routing_cls(waxman_network),
+                epsilon=0.25,
+                prescale_epsilon=0.3,
+                stacked_trees=stacked,
+                kernel_backend=backend_name,
+            )
+            for stacked in (True, False)
+        ]
+        assert fingerprint(runs[0]) == fingerprint(runs[1])
+        assert runs[0].instrumentation["kernel_backend"] == backend_name
+
+    def test_online(self, waxman_network, kernel_sessions, routing_cls, backend_name):
+        arrivals = kernel_sessions * 3
+        runs = [
+            solve_online_instance(
+                arrivals,
+                routing_cls(waxman_network),
+                sigma=10.0,
+                stacked_trees=stacked,
+                kernel_backend=backend_name,
+            )
+            for stacked in (True, False)
+        ]
+        assert fingerprint(runs[0]) == fingerprint(runs[1])
+        assert runs[0].instrumentation["kernel_backend"] == backend_name
+
+    def test_randomized_rounding(
+        self, waxman_network, kernel_sessions, routing_cls, backend_name
+    ):
+        runs = [
+            solve_randomized_rounding_instance(
+                kernel_sessions,
+                routing_cls(waxman_network),
+                max_trees=2,
+                seed=5,
+                epsilon=0.25,
+                prescale_epsilon=0.3,
+                stacked_trees=stacked,
+                kernel_backend=backend_name,
+            )
+            for stacked in (True, False)
+        ]
+        assert fingerprint(runs[0]) == fingerprint(runs[1])
+
+
+def test_backends_agree_to_roundoff(waxman_network, kernel_sessions):
+    """Cross-backend agreement is floating-point round-off, not bitwise:
+    the ordered sum re-associates relative to the BLAS dots, so rates
+    and edge flows track to ``allclose`` precision."""
+    routing = FixedIPRouting(waxman_network)
+    base = solve_max_flow_instance(
+        kernel_sessions, routing, epsilon=0.15, kernel_backend="numpy"
+    )
+    ordered = solve_max_flow_instance(
+        kernel_sessions, routing, epsilon=0.15, kernel_backend="ordered"
+    )
+    np.testing.assert_allclose(
+        [s.rate for s in base.sessions],
+        [s.rate for s in ordered.sessions],
+        rtol=1e-9,
+    )
+    np.testing.assert_allclose(
+        base.edge_flows(), ordered.edge_flows(), rtol=1e-9, atol=1e-12
+    )
+
+
+# ----------------------------------------------------------------------
+# 3. registry, knobs, fallback
+# ----------------------------------------------------------------------
+def test_builtin_backends_are_registered():
+    names = kernel_backend_names()
+    assert {"numpy", "ordered", "numba"} <= set(names)
+    assert names == sorted(names)
+
+
+def test_resolve_caches_instances():
+    assert resolve_kernel_backend("numpy") is resolve_kernel_backend("numpy")
+    assert resolve_kernel_backend("ordered") is resolve_kernel_backend("ordered")
+    assert resolve_kernel_backend("NumPy").name == "numpy"  # case-insensitive
+
+
+def test_resolve_passes_instances_through():
+    backend = resolve_kernel_backend("ordered")
+    assert resolve_kernel_backend(backend) is backend
+
+
+def test_resolve_unknown_backend_raises():
+    with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+        resolve_kernel_backend("no-such-backend")
+
+
+def test_register_duplicate_name_raises():
+    with pytest.raises(ConfigurationError, match="already registered"):
+        register_kernel_backend("numpy", KernelBackend)
+    with pytest.raises(ConfigurationError, match="non-empty"):
+        register_kernel_backend("", KernelBackend)
+
+
+def test_register_and_unregister_round_trip():
+    class PluginBackend(OrderedKernelBackend):
+        name = "plugin-test"
+
+    register_kernel_backend("plugin-test", PluginBackend)
+    try:
+        assert "plugin-test" in kernel_backend_names()
+        backend = resolve_kernel_backend("plugin-test")
+        assert isinstance(backend, PluginBackend)
+        assert backend is resolve_kernel_backend("PLUGIN-TEST")
+    finally:
+        unregister_kernel_backend("plugin-test")
+    assert "plugin-test" not in kernel_backend_names()
+    with pytest.raises(ConfigurationError):
+        unregister_kernel_backend("plugin-test")
+
+
+def test_unavailable_backend_falls_back_to_numpy_with_one_warning():
+    @register_kernel_backend("broken-test")
+    def _broken():
+        raise ImportError("optional toolchain missing")
+
+    try:
+        with pytest.warns(RuntimeWarning, match="falling back to 'numpy'"):
+            backend = resolve_kernel_backend("broken-test")
+        assert backend is resolve_kernel_backend("numpy")
+        # Cached: the second resolution neither re-runs the factory nor
+        # re-warns.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_kernel_backend("broken-test") is backend
+    finally:
+        unregister_kernel_backend("broken-test")
+
+
+@pytest.mark.skipif(_numba_available(), reason="numba is installed here")
+def test_numba_absent_resolves_to_numpy():
+    """On a machine without numba the compiled name degrades gracefully."""
+    kernels_mod._BACKEND_INSTANCES.pop("numba", None)
+    kernels_mod._FALLBACK_WARNED.discard("numba")
+    with pytest.warns(RuntimeWarning, match="'numba' is unavailable"):
+        backend = resolve_kernel_backend("numba")
+    assert backend.name == "numpy"
+    assert backend is resolve_kernel_backend("numpy")
+
+
+def test_configure_kernel_backend_round_trip():
+    assert kernel_backend_default() == "numpy"
+    previous = configure_kernel_backend("ordered")
+    try:
+        assert previous == "numpy"
+        assert kernel_backend_default() == "ordered"
+        assert active_kernels().name == "ordered"
+        # The per-solver default follows the process default.
+        with use_kernel_backend(None) as resolved:
+            assert resolved.name == "ordered"
+    finally:
+        configure_kernel_backend(previous)
+    assert kernel_backend_default() == "numpy"
+    with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+        configure_kernel_backend("no-such-backend")
+
+
+def test_use_kernel_backend_restores_and_nests():
+    assert active_kernels().name == kernel_backend_default()
+    with use_kernel_backend("ordered") as outer:
+        assert active_kernels() is outer
+        with use_kernel_backend("numpy") as inner:
+            assert active_kernels() is inner
+        assert active_kernels() is outer
+    assert active_kernels().name == kernel_backend_default()
+
+
+def test_use_kernel_backend_is_thread_local():
+    seen = {}
+
+    def probe():
+        seen["worker"] = active_kernels().name
+
+    with use_kernel_backend("ordered"):
+        worker = threading.Thread(target=probe)
+        worker.start()
+        worker.join()
+        assert active_kernels().name == "ordered"
+    # The worker thread never saw this thread's override.
+    assert seen["worker"] == kernel_backend_default()
+
+
+def test_env_var_seeds_the_boot_default(monkeypatch):
+    monkeypatch.setenv(kernels_mod.KERNELS_ENV_VAR, "ordered")
+    assert kernels_mod._initial_backend_name() == "ordered"
+    monkeypatch.setenv(kernels_mod.KERNELS_ENV_VAR, "  Ordered  ")
+    assert kernels_mod._initial_backend_name() == "ordered"
+    monkeypatch.delenv(kernels_mod.KERNELS_ENV_VAR)
+    assert kernels_mod._initial_backend_name() == "numpy"
+    monkeypatch.setenv(kernels_mod.KERNELS_ENV_VAR, "bogus")
+    with pytest.warns(RuntimeWarning, match="names no registered kernel backend"):
+        assert kernels_mod._initial_backend_name() == "numpy"
+
+
+def test_engine_default_backend_reported_in_instrumentation(
+    waxman_network, kernel_sessions
+):
+    routing = FixedIPRouting(waxman_network)
+    default_run = solve_max_flow_instance(kernel_sessions, routing, epsilon=0.3)
+    assert default_run.instrumentation["kernel_backend"] == kernel_backend_default()
+    previous = configure_kernel_backend("ordered")
+    try:
+        configured = solve_max_flow_instance(kernel_sessions, routing, epsilon=0.3)
+        assert configured.instrumentation["kernel_backend"] == "ordered"
+    finally:
+        configure_kernel_backend(previous)

@@ -63,8 +63,25 @@ def test_write_core_perf_record_tiny(tmp_path):
     assert ledger["trees"] > 1
     assert ledger["rounds"] > 0
     assert ledger["ledger_seconds"] > 0
+    assert ledger["numpy_ledger_seconds"] > 0
     assert ledger["loop_seconds"] > 0
     assert ledger["ledger_round_speedup"] > 0
+    # The ledger arm runs under the best available kernel backend
+    # ("numba" when importable, else the pure-NumPy "ordered" backend)
+    # and records which one actually ran.
+    from repro.perf.record import _best_kernel_backend
+
+    assert ledger["backend"] == _best_kernel_backend()
+
+    # Kernel-backend ablation: numpy arms versus the best available
+    # backend over the three ledger hot ops, on the same ledger scale.
+    ledger_kernel = record["ledger_kernel"]
+    assert ledger_kernel["backend"] == _best_kernel_backend()
+    assert ledger_kernel["nnz"] > 0
+    for op in ("round_lengths", "scatter", "lengths_for_all"):
+        assert ledger_kernel[op]["numpy_seconds"] > 0
+        assert ledger_kernel[op]["compiled_seconds"] > 0
+        assert ledger_kernel[op]["compiled_speedup"] > 0
 
     # Length-update batching ablation: one multiply_batch call versus a
     # loop of multiply calls over the same accumulated updates, plus the
@@ -139,6 +156,16 @@ def test_write_core_perf_record_tiny(tmp_path):
     assert obs["outputs_identical_with_trace"]
 
     latest = record["history"][-1]
+    assert latest["ledger_kernel_backend"] == ledger_kernel["backend"]
+    assert latest["ledger_kernel_round_speedup"] == (
+        ledger_kernel["round_lengths"]["compiled_speedup"]
+    )
+    assert latest["ledger_kernel_scatter_speedup"] == (
+        ledger_kernel["scatter"]["compiled_speedup"]
+    )
+    assert latest["ledger_kernel_all_speedup"] == (
+        ledger_kernel["lengths_for_all"]["compiled_speedup"]
+    )
     assert latest["multiply_batched_speedup"] == length_multiply["batched_speedup"]
     assert latest["multiply_unique_speedup"] == (
         length_multiply["unique_fastpath_speedup"]
@@ -296,6 +323,42 @@ def test_record_migrates_v6_history(tmp_path):
     assert latest["schema"] == BENCH_SCHEMA
     assert latest["obs_metrics_overhead_pct"] == (
         record["obs_overhead"]["metrics_overhead_pct"]
+    )
+
+
+def test_record_migrates_v7_history(tmp_path):
+    # A v7 record's trajectory (pre-ledger_kernel) survives the v8 write
+    # verbatim, with the new (kernel-backend-bearing) entry appended.
+    path = tmp_path / "BENCH_core.json"
+    v7_history = [
+        {"schema": "BENCH_core/v6", "scale": "quick", "fixed_calls_per_sec": 12.0},
+        {
+            "schema": "BENCH_core/v7",
+            "scale": "quick",
+            "fixed_calls_per_sec": 13.0,
+            "ledger_round_speedup": 0.45,
+            "obs_metrics_overhead_pct": 1.2,
+        },
+    ]
+    v7 = {
+        "schema": "BENCH_core/v7",
+        "scale": "quick",
+        "maxflow_fixed": {"memoized": {"calls_per_sec": 13.0}},
+        "maxflow_dynamic": {"memoized": {"calls_per_sec": 900.0}},
+        "obs_overhead": {"metrics_overhead_pct": 1.2},
+        "history": v7_history,
+    }
+    path.write_text(json.dumps(v7))
+    write_core_perf_record(path, scale="tiny")
+    record = json.loads(path.read_text())
+    assert record["schema"] == BENCH_SCHEMA
+    assert record["history"][:2] == v7_history
+    assert len(record["history"]) == 3
+    latest = record["history"][-1]
+    assert latest["schema"] == BENCH_SCHEMA
+    assert latest["ledger_kernel_backend"] == record["ledger_kernel"]["backend"]
+    assert latest["ledger_kernel_round_speedup"] == (
+        record["ledger_kernel"]["round_lengths"]["compiled_speedup"]
     )
 
 

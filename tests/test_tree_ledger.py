@@ -19,7 +19,12 @@ from repro.api.registry import (
     solve_online_instance,
     solve_randomized_rounding_instance,
 )
-from repro.core.engine import TreeLedger, configure_stacked_trees, stacked_trees_default
+from repro.core.engine import (
+    TreeLedger,
+    configure_stacked_trees,
+    stacked_trees_default,
+    use_kernel_backend,
+)
 from repro.core.lengths import LengthFunction
 from repro.core.online import OnlineConfig, OnlineMinCongestion
 from repro.core.result import SessionResult, TreeFlow
@@ -491,3 +496,117 @@ def test_session_edge_flows_one_scatter_matches_loop(waxman_network, ledger_sess
         empty.edge_flows(waxman_network.num_edges),
         np.zeros(waxman_network.num_edges),
     )
+
+
+# ----------------------------------------------------------------------
+# satellite pieces: empty-ledger guard, contiguous-gather fast path
+# ----------------------------------------------------------------------
+def _singleton_tree(member, num_edges):
+    # A one-member session's tree: valid, zero physical footprint.
+    return OverlayTree.from_paths((member,), [], {}, num_edges)
+
+
+@pytest.mark.parametrize("backend", ["numpy", "ordered"])
+def test_lengths_for_all_with_only_empty_columns(ring6_network, backend):
+    # Regression: columns registered but nnz == 0 (every footprint
+    # empty).  The numpy path's padded gather would otherwise index the
+    # stores at nnz - 1 == -1; both backends must return exact zeros.
+    ledger = TreeLedger(ring6_network.num_edges)
+    for member in range(3):
+        ledger.register(_singleton_tree(member, ring6_network.num_edges))
+    # Zero-footprint trees share the canonical key ((), ()), so the
+    # content-addressed store keeps exactly one empty column.
+    assert ledger.num_columns == 1
+    assert ledger.nnz == 0
+    lengths = np.linspace(0.5, 2.0, ring6_network.num_edges)
+    with use_kernel_backend(backend):
+        assert ledger.lengths_for_all(lengths).tolist() == [0.0]
+        assert ledger.lengths_for([0], lengths).tolist() == [0.0]
+        assert np.array_equal(
+            ledger.edge_values([0], np.ones(1)),
+            np.zeros(ring6_network.num_edges),
+        )
+
+
+def _cross_ring_ledger(network):
+    """Nine pair trees on the 6-ring: adjacent pairs plus chords."""
+    routing = FixedIPRouting(network)
+    trees = [_pair_tree(routing, network, i, (i + 1) % 6) for i in range(6)]
+    trees += [_pair_tree(routing, network, i, (i + 2) % 6) for i in range(3)]
+    ledger = TreeLedger(network.num_edges)
+    columns = [ledger.register(t) for t in trees]
+    assert columns == list(range(9))
+    return ledger, trees
+
+
+@pytest.mark.parametrize("backend", ["numpy", "ordered"])
+def test_lengths_for_contiguous_and_scattered_requests_agree(
+    monkeypatch, ring6_network, backend
+):
+    # The gathered-entries fast path serves contiguous column runs as
+    # direct store views; scattered/reversed requests take the
+    # concatenate path.  Both must produce the per-tree bits.  Force
+    # sparse evaluation so the numpy branch exercises the gathered dot.
+    import repro.core.engine.ledger as ledger_mod
+    import repro.overlay.tree as tree_mod
+
+    monkeypatch.setattr(tree_mod, "SPARSE_LENGTH_MIN_EDGES", 4)
+    monkeypatch.setattr(ledger_mod, "SPARSE_LENGTH_MIN_EDGES", 4)
+    ledger, trees = _cross_ring_ledger(ring6_network)
+    lengths = np.random.default_rng(12).uniform(0.5, 2.0, ring6_network.num_edges)
+    with use_kernel_backend(backend):
+        expected = [t.length(lengths) for t in trees]
+        # Contiguous run (zero-copy view path), below the graduation
+        # threshold so the ordered backend uses the gathered kernel.
+        assert ledger.lengths_for([2, 3, 4], lengths).tolist() == expected[2:5]
+        # Scattered and reversed requests (concatenate path).
+        assert ledger.lengths_for([1, 4, 7], lengths).tolist() == [
+            expected[1],
+            expected[4],
+            expected[7],
+        ]
+        assert ledger.lengths_for([5, 3, 0], lengths).tolist() == [
+            expected[5],
+            expected[3],
+            expected[0],
+        ]
+        # Full request: ordered backends graduate to lengths_for_all,
+        # which must compute the identical bits per column.
+        assert ledger.lengths_for(list(range(9)), lengths).tolist() == expected
+
+
+@pytest.mark.parametrize("backend", ["numpy", "ordered"])
+def test_edge_values_contiguous_and_scattered_requests_agree(
+    ring6_network, backend
+):
+    ledger, trees = _cross_ring_ledger(ring6_network)
+    rng = np.random.default_rng(13)
+    weights = rng.uniform(0.1, 3.0, 9)
+
+    def reference(cols):
+        out = np.zeros(ring6_network.num_edges, dtype=float)
+        for c in cols:
+            out[trees[c].physical_edges] += trees[c].usage_values * weights[c]
+        return out
+
+    with use_kernel_backend(backend):
+        # Contiguous run (view path), scattered subset (concatenate
+        # path), and accumulation into an existing output.
+        contiguous = [3, 4, 5]
+        assert np.array_equal(
+            ledger.edge_values(contiguous, weights[contiguous]),
+            reference(contiguous),
+        )
+        scattered = [0, 4, 8]
+        assert np.array_equal(
+            ledger.edge_values(scattered, weights[scattered]),
+            reference(scattered),
+        )
+        base = rng.uniform(0.1, 1.0, ring6_network.num_edges)
+        accumulated = ledger.edge_values(
+            scattered, weights[scattered], out=base.copy()
+        )
+        loop = base.copy()
+        for c in scattered:
+            loop[trees[c].physical_edges] += trees[c].usage_values * weights[c]
+        assert np.array_equal(accumulated, loop)
