@@ -48,9 +48,12 @@ def _load_specs(paths: List[str]) -> List[ScenarioSpec]:
 
 
 def _queue(args: argparse.Namespace) -> WorkQueue:
+    kwargs = {}
     if getattr(args, "lease", None) is not None:
-        return WorkQueue(args.queue, lease_seconds=args.lease)
-    return WorkQueue(args.queue)
+        kwargs["lease_seconds"] = args.lease
+    if getattr(args, "max_attempts", None) is not None:
+        kwargs["max_attempts"] = args.max_attempts
+    return WorkQueue(args.queue, **kwargs)
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -71,6 +74,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             exit_when_empty=args.exit_when_empty,
             relay=args.relay,
             trace_dir=args.trace_dir,
+            heartbeat=not args.no_heartbeat,
         )
     print(
         f"worker done: {stats['completed']} task(s) "
@@ -170,6 +174,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="write one Chrome trace-event file per solved task to "
         "<dir>/<key>.trace.json (stitch with `python -m repro.obs merge`)",
+    )
+    worker.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="lease expiries before a task is dead-lettered as poison",
+    )
+    worker.add_argument(
+        "--no-heartbeat",
+        action="store_true",
+        help="disable lease renewal while solving (testing only: a solve "
+        "longer than --lease will be re-executed by another worker)",
     )
     worker.set_defaults(handler=_cmd_worker)
 

@@ -39,16 +39,38 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro import faults
 from repro.api.specs import ScenarioSpec
 from repro.cluster.sharding import shard_of
 from repro.obs import metrics as obs_metrics
 from repro.util.errors import ConfigurationError
-from repro.util.serialization import atomic_write_bytes
+from repro.util.serialization import atomic_write_bytes, fsync_directory
 
 TASK_SCHEMA = "WorkQueueTask/v1"
 LEASE_SCHEMA = "WorkQueueLease/v1"
+ATTEMPTS_SCHEMA = "WorkQueueAttempts/v1"
 
 _STATES = ("pending", "claimed", "done", "failed")
+
+#: Buckets for the per-task attempts histogram: attempts are small
+#: integers, so the default latency buckets would bin them uselessly.
+ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 4.0, 5.0, 8.0, 13.0)
+
+# Crash seams for the fault-injection sweep: each is a precise spot a
+# worker can die between two filesystem operations of one logical
+# transition.  queue.submit.{write,rename,publish} are derived inside
+# atomic_write_bytes.
+faults.declare_point("queue.submit.write", "payload bytes of a submitted task")
+faults.declare_point("queue.submit.rename", "before a submit's atomic rename")
+faults.declare_point("queue.submit.publish", "after a submit's rename")
+faults.declare_point("queue.claim.rename", "before the pending->claimed rename")
+faults.declare_point("queue.claim.lease", "after the claim rename, before the lease write")
+faults.declare_point("queue.complete.rename", "before the claimed->done rename")
+faults.declare_point("queue.complete.lease", "after the done rename, before the lease drop")
+faults.declare_point("queue.fail.rename", "before the claimed->failed rename")
+faults.declare_point("queue.requeue.rename", "before the claimed->pending rename")
+faults.declare_point("queue.requeue.lease", "after the requeue rename, before the lease drop")
+faults.declare_point("queue.renew.write", "before a heartbeat lease rewrite")
 
 
 def _task_name(shard: int, key: str) -> str:
@@ -93,23 +115,60 @@ class WorkQueue:
         Queue directory (created on first use).
     lease_seconds:
         How long a claim stays owned without completing before
-        :meth:`requeue_expired` hands it to another worker.  Choose it
-        comfortably above the slowest expected single solve.
+        :meth:`requeue_expired` hands it to another worker.  Workers
+        heartbeat (:meth:`renew`) while solving, so this bounds
+        *crash detection latency*, not solve duration.
+    max_attempts:
+        How many lease expirations a task survives before
+        :meth:`requeue_expired` dead-letters it as poison instead of
+        requeueing — a task that reliably kills its worker must not
+        take down the whole fleet one worker at a time.
+    durable:
+        fsync directories around state-transition renames (and task,
+        lease and attempts writes) so queue state survives power loss.
+        Default on; turn off for throwaway queues in tight test loops.
     """
 
-    def __init__(self, root: Union[str, Path], lease_seconds: float = 300.0) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        lease_seconds: float = 300.0,
+        max_attempts: int = 5,
+        durable: bool = True,
+    ) -> None:
         if lease_seconds <= 0:
             raise ConfigurationError(
                 f"lease_seconds must be positive, got {lease_seconds}"
             )
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
         self.root = Path(root)
         self.lease_seconds = float(lease_seconds)
+        self.max_attempts = int(max_attempts)
+        self.durable = bool(durable)
 
     def _dir(self, state: str) -> Path:
         return self.root / state
 
     def _lease_path(self, name: str) -> Path:
         return self.root / "leases" / f"{name}.lease"
+
+    def _attempts_path(self, name: str) -> Path:
+        return self.root / "attempts" / f"{name}.json"
+
+    def _rename(
+        self, source: Path, target: Path, fault_point: Optional[str] = None
+    ) -> None:
+        """One durable state transition (``FileNotFoundError`` propagates)."""
+        if fault_point is not None:
+            faults.point(fault_point)
+        os.rename(source, target)
+        if self.durable:
+            fsync_directory(target.parent)
+            if source.parent != target.parent:
+                fsync_directory(source.parent)
 
     def _names(self, state: str) -> List[str]:
         directory = self._dir(state)
@@ -172,6 +231,8 @@ class WorkQueue:
             atomic_write_bytes(
                 self._dir("pending") / name,
                 json.dumps(payload, sort_keys=True).encode("utf-8"),
+                durable=self.durable,
+                fault_point="queue.submit",
             )
         return keys
 
@@ -195,7 +256,7 @@ class WorkQueue:
             target = self._dir("claimed") / name
             target.parent.mkdir(parents=True, exist_ok=True)
             try:
-                os.rename(source, target)
+                self._rename(source, target, "queue.claim.rename")
             except FileNotFoundError:
                 continue  # another worker won this one
             now = time.time()
@@ -206,6 +267,7 @@ class WorkQueue:
                 os.utime(target)
             except OSError:
                 pass
+            faults.point("queue.claim.lease")
             atomic_write_bytes(
                 self._lease_path(name),
                 json.dumps(
@@ -215,9 +277,11 @@ class WorkQueue:
                         "worker": worker_id,
                         "claimed_at": now,
                         "expires_at": now + self.lease_seconds,
+                        "renewals": 0,
                     },
                     sort_keys=True,
                 ).encode("utf-8"),
+                durable=self.durable,
             )
             try:
                 payload = json.loads(target.read_text(encoding="utf-8"))
@@ -226,7 +290,7 @@ class WorkQueue:
                 # hand the claim straight back rather than stranding it
                 # in claimed/ under a fresh lease for a full window.
                 try:
-                    os.rename(target, source)
+                    self._rename(target, source)
                 except FileNotFoundError:
                     pass
                 self._drop_lease(name)
@@ -256,6 +320,54 @@ class WorkQueue:
         lease = self._read_lease(task.name)
         return lease is None or lease.get("worker") == task.worker
 
+    def renew(self, task: ClaimedTask, now: Optional[float] = None) -> bool:
+        """Heartbeat: extend the lease on a claim this worker still owns.
+
+        Returns ``True`` when the lease was pushed out another
+        ``lease_seconds`` from ``now``, ``False`` when ownership is gone
+        (the lease names a successor, or the claim file itself left
+        ``claimed/``) — the caller's solve has been, or is about to be,
+        re-executed elsewhere, and its eventual ``complete`` will be the
+        idempotent no-op path.
+
+        Renewal is what lets ``lease_seconds`` be a *crash detector*
+        rather than an upper bound on solve time: a live worker renews
+        every ``lease_seconds / 3`` and can run arbitrarily long, while
+        a dead one stops renewing and loses the task within one window.
+        """
+        now = time.time() if now is None else now
+        lease = self._read_lease(task.name)
+        if lease is not None and lease.get("worker") != task.worker:
+            return False
+        if not (self._dir("claimed") / task.name).exists():
+            return False
+        renewals = (int(lease.get("renewals", 0)) if lease is not None else 0) + 1
+        claimed_at = (
+            float(lease.get("claimed_at", task.claimed_at))
+            if lease is not None
+            else task.claimed_at
+        )
+        faults.point("queue.renew.write")
+        atomic_write_bytes(
+            self._lease_path(task.name),
+            json.dumps(
+                {
+                    "schema": LEASE_SCHEMA,
+                    "task": task.name,
+                    "worker": task.worker,
+                    "claimed_at": claimed_at,
+                    "expires_at": now + self.lease_seconds,
+                    "renewals": renewals,
+                },
+                sort_keys=True,
+            ).encode("utf-8"),
+            durable=self.durable,
+        )
+        obs_metrics.registry().counter(
+            "repro_lease_renewals_total", "Heartbeat lease renewals"
+        ).inc()
+        return True
+
     def complete(self, task: ClaimedTask) -> None:
         """Mark a claimed task solved (idempotent; lease is released)."""
         if not self._owns(task):
@@ -266,16 +378,24 @@ class WorkQueue:
         source = self._dir("claimed") / task.name
         target = self._dir("done") / task.name
         target.parent.mkdir(parents=True, exist_ok=True)
+        attempts = self._read_requeues(task.name) + 1
         try:
-            os.rename(source, target)
+            self._rename(source, target, "queue.complete.rename")
         except FileNotFoundError:
             # Our lease expired and the task was requeued (and possibly
             # re-done).  Our report is already in the store, so this is
             # a success, not an error.
             pass
+        faults.point("queue.complete.lease")
         self._drop_lease(task.name)
+        self._drop_attempts(task.name)
         reg = obs_metrics.registry()
         reg.counter("repro_queue_completes_total", "Tasks completed").inc()
+        reg.histogram(
+            "repro_task_attempts",
+            "Execution attempts per completed task",
+            buckets=ATTEMPT_BUCKETS,
+        ).observe(float(attempts))
         if task.claimed_at:
             reg.histogram(
                 "repro_queue_claim_to_complete_seconds",
@@ -287,7 +407,9 @@ class WorkQueue:
         if not self._owns(task):
             return
         try:
-            os.rename(self._dir("claimed") / task.name, self._dir("pending") / task.name)
+            self._rename(
+                self._dir("claimed") / task.name, self._dir("pending") / task.name
+            )
         except FileNotFoundError:
             pass
         self._drop_lease(task.name)
@@ -315,12 +437,14 @@ class WorkQueue:
                 {"task": task.name, "key": task.key, "error": error},
                 sort_keys=True,
             ).encode("utf-8"),
+            durable=self.durable,
         )
         try:
-            os.rename(source, target)
+            self._rename(source, target, "queue.fail.rename")
         except FileNotFoundError:
             pass
         self._drop_lease(task.name)
+        self._drop_attempts(task.name)
 
     def failures(self) -> Dict[str, str]:
         """Canonical key → recorded error message for failed tasks."""
@@ -350,13 +474,17 @@ class WorkQueue:
             pending = self._dir("pending")
             pending.mkdir(parents=True, exist_ok=True)
             try:
-                os.rename(self._dir("failed") / name, pending / name)
+                self._rename(self._dir("failed") / name, pending / name)
             except FileNotFoundError:
                 continue
             try:
                 (self._dir("failed") / f"{name}.error").unlink()
             except OSError:
                 pass
+            # A fresh start deserves a fresh attempt budget — without
+            # this, a task dead-lettered as poison would re-poison on
+            # its first post-retry expiry.
+            self._drop_attempts(name)
             moved += 1
         return moved
 
@@ -374,9 +502,10 @@ class WorkQueue:
             pending = self._dir("pending")
             pending.mkdir(parents=True, exist_ok=True)
             try:
-                os.rename(self._dir("done") / name, pending / name)
+                self._rename(self._dir("done") / name, pending / name)
             except FileNotFoundError:
                 continue
+            self._drop_attempts(name)
             return True
         return False
 
@@ -387,6 +516,13 @@ class WorkQueue:
         sidecar is missing and the claim file itself is older than the
         lease window (covering a worker that died between the rename and
         the lease write).
+
+        Each expiry bumps the task's attempt sidecar; a task whose
+        expiry count reaches ``max_attempts`` is *poison* — it has taken
+        down that many workers — and is dead-lettered to ``failed/``
+        (error recorded, like :meth:`fail`) instead of being handed to
+        the next victim.  Lease sidecars orphaned by a crash between a
+        terminal rename and the lease drop are swept here too.
         """
         now = time.time() if now is None else now
         moved = 0
@@ -403,12 +539,44 @@ class WorkQueue:
                     continue
                 if now - claimed_at <= self.lease_seconds:
                     continue
+            requeues = self._read_requeues(name) + 1
+            if requeues >= self.max_attempts:
+                target = self._dir("failed") / name
+                target.parent.mkdir(parents=True, exist_ok=True)
+                atomic_write_bytes(
+                    self._dir("failed") / f"{name}.error",
+                    json.dumps(
+                        {
+                            "task": name,
+                            "key": _key_of_task_name(name),
+                            "error": (
+                                f"poison task: lease expired {requeues} times "
+                                f"(max_attempts={self.max_attempts})"
+                            ),
+                        },
+                        sort_keys=True,
+                    ).encode("utf-8"),
+                    durable=self.durable,
+                )
+                try:
+                    self._rename(claim_path, target, "queue.fail.rename")
+                except FileNotFoundError:
+                    continue
+                self._drop_lease(name)
+                self._drop_attempts(name)
+                obs_metrics.registry().counter(
+                    "repro_queue_poison_total",
+                    "Tasks dead-lettered after exhausting max_attempts",
+                ).inc()
+                continue
+            self._write_requeues(name, requeues)
             pending = self._dir("pending")
             pending.mkdir(parents=True, exist_ok=True)
             try:
-                os.rename(claim_path, pending / name)
+                self._rename(claim_path, pending / name, "queue.requeue.rename")
             except FileNotFoundError:
                 continue  # racing scavenger/completer got there first
+            faults.point("queue.requeue.lease")
             self._drop_lease(name)
             moved += 1
         if moved:
@@ -416,7 +584,63 @@ class WorkQueue:
                 "repro_queue_lease_expirations_total",
                 "Lapsed claims returned to pending",
             ).inc(moved)
+        self._sweep_orphan_leases()
         return moved
+
+    def _sweep_orphan_leases(self) -> None:
+        """Drop lease sidecars whose task is no longer in ``claimed/``.
+
+        A worker that crashed between a terminal rename (done/failed/
+        pending) and its ``_drop_lease`` leaves the sidecar behind; the
+        stale worker id inside would otherwise confuse a future claim of
+        the same name during the window before its fresh lease lands.
+        """
+        leases_dir = self.root / "leases"
+        if not leases_dir.exists():
+            return
+        for sidecar in leases_dir.iterdir():
+            if not sidecar.name.endswith(".lease"):
+                continue
+            name = sidecar.name[: -len(".lease")]
+            # Freshness check immediately before the unlink: a claim
+            # landing mid-sweep re-creates claimed/<name> before (or
+            # while) writing its lease, so checking here — not against a
+            # stale snapshot — keeps live leases out of the sweep.
+            if (self._dir("claimed") / name).exists():
+                continue
+            try:
+                sidecar.unlink()
+            except OSError:
+                pass
+
+    def _read_requeues(self, name: str) -> int:
+        """How many times this task's lease has lapsed so far."""
+        try:
+            data = json.loads(self._attempts_path(name).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, ValueError):
+            return 0
+        if not isinstance(data, dict) or data.get("schema") != ATTEMPTS_SCHEMA:
+            return 0
+        try:
+            return int(data.get("requeues", 0))
+        except (TypeError, ValueError):
+            return 0
+
+    def _write_requeues(self, name: str, requeues: int) -> None:
+        atomic_write_bytes(
+            self._attempts_path(name),
+            json.dumps(
+                {"schema": ATTEMPTS_SCHEMA, "task": name, "requeues": requeues},
+                sort_keys=True,
+            ).encode("utf-8"),
+            durable=self.durable,
+        )
+
+    def _drop_attempts(self, name: str) -> None:
+        try:
+            self._attempts_path(name).unlink()
+        except OSError:
+            pass
 
     def _read_lease(self, name: str) -> Optional[Dict[str, Any]]:
         try:

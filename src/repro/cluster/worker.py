@@ -20,19 +20,65 @@ from __future__ import annotations
 import os
 import subprocess
 import sys
+import threading
 import uuid
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
-from repro.cluster.queue import WorkQueue
+from repro.cluster.queue import ClaimedTask, WorkQueue
 from repro.store.report_store import ReportStore
 from repro.util.backoff import ExponentialBackoff
 from repro.util.errors import ConfigurationError
+from repro.util.retry import RetryPolicy
 
 
 def _default_worker_id() -> str:
     return f"{os.uname().nodename if hasattr(os, 'uname') else 'host'}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+class _Heartbeat:
+    """Renews the lease on one claimed task from a daemon thread.
+
+    Started when the solve begins, stopped when it ends: a solve that
+    outlives ``lease_seconds`` keeps its lease fresh (renewal every
+    third of the window leaves two chances before expiry), so the task
+    is never concurrently re-executed by another worker — the
+    double-execution bug the lease window used to cause.  When renewal
+    reports lost ownership the beat stops and sets :attr:`lost`; the
+    solve keeps running (its store put is still valuable and its
+    ``complete`` is an idempotent no-op).
+    """
+
+    def __init__(self, queue: WorkQueue, task: ClaimedTask, interval: float) -> None:
+        self._queue = queue
+        self._task = task
+        self._interval = interval
+        self._stop = threading.Event()
+        self.lost = False
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{task.name}", daemon=True
+        )
+
+    def start(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                if not self._queue.renew(self._task):
+                    self.lost = True
+                    return
+            except OSError:
+                # A transient renew failure is survivable: the lease has
+                # at least two-thirds of a window of slack, so just try
+                # again next beat.
+                continue
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
 
 
 def run_worker(
@@ -46,6 +92,8 @@ def run_worker(
     lease_seconds: Optional[float] = None,
     relay: Optional[Union[str, Path]] = None,
     trace_dir: Optional[Union[str, Path]] = None,
+    heartbeat: bool = True,
+    max_attempts: Optional[int] = None,
 ) -> Dict[str, int]:
     """Drain tasks from ``queue`` into ``store`` until told to stop.
 
@@ -81,6 +129,15 @@ def run_worker(
         ``<trace_dir>/<canonical_key>.trace.json`` — one Chrome
         trace-event file per run, next to the relay channels in spirit.
         Stitch multi-worker runs with ``python -m repro.obs merge``.
+    heartbeat:
+        Renew the lease of the task being solved every third of the
+        lease window (default on).  Turn off only to reproduce the
+        pre-heartbeat lapse behaviour in tests.
+    max_attempts:
+        Forwarded to the :class:`WorkQueue` constructor when ``queue``
+        is a path (ignored — must be ``None`` or equal — when a live
+        queue object is passed): how many lease expiries dead-letter a
+        poison task.
 
     Returns counters: tasks completed, reports solved live, store hits.
     """
@@ -93,12 +150,19 @@ def run_worker(
                 f"({lease_seconds} vs {queue.lease_seconds}); configure it "
                 "on the queue instead"
             )
+        if max_attempts is not None and max_attempts != queue.max_attempts:
+            raise ConfigurationError(
+                "max_attempts conflicts with the passed WorkQueue's "
+                f"({max_attempts} vs {queue.max_attempts}); configure it "
+                "on the queue instead"
+            )
     else:
-        queue = (
-            WorkQueue(queue)
-            if lease_seconds is None
-            else WorkQueue(queue, lease_seconds=lease_seconds)
-        )
+        kwargs = {}
+        if lease_seconds is not None:
+            kwargs["lease_seconds"] = lease_seconds
+        if max_attempts is not None:
+            kwargs["max_attempts"] = max_attempts
+        queue = WorkQueue(queue, **kwargs)
     if not isinstance(store, ReportStore):
         store = ReportStore(store)
     worker_id = worker_id or _default_worker_id()
@@ -115,9 +179,22 @@ def run_worker(
 
     stats = {"completed": 0, "solved": 0, "store_hits": 0, "failed": 0}
     backoff = ExponentialBackoff(poll_seconds)
+    # Transient filesystem errors during the scan/claim phase (injected
+    # or real) retry in place; a failure that outlives its retries is
+    # treated like an empty poll rather than killing the worker.
+    claim_retry = RetryPolicy(
+        max_attempts=4,
+        floor=min(poll_seconds, 0.05),
+        cap=1.0,
+        surface="worker.claim",
+    )
     while True:
-        queue.requeue_expired()
-        task = queue.claim(worker_id, shard=shard)
+        try:
+            claim_retry.call(queue.requeue_expired)
+            task = claim_retry.call(queue.claim, worker_id, shard=shard)
+        except OSError:
+            backoff.sleep()
+            continue
         if task is None:
             if exit_when_empty and queue.is_drained():
                 break
@@ -132,17 +209,28 @@ def run_worker(
             if trace_dir is not None
             else None
         )
+        beat = (
+            _Heartbeat(queue, task, interval=queue.lease_seconds / 3.0).start()
+            if heartbeat
+            else None
+        )
         try:
-            report = solve(task.spec, store=store, on_event=writer, trace=trace_path)
-        except Exception as exc:  # noqa: BLE001 - one bad spec must not kill the worker
-            # Solves are deterministic, so retrying would crash the next
-            # worker too: dead-letter the task and keep draining.
-            error = f"{type(exc).__name__}: {exc}"
-            if writer is not None:
-                writer.finish("failed", error=error)
-            queue.fail(task, error)
-            stats["failed"] += 1
-            continue
+            try:
+                report = solve(
+                    task.spec, store=store, on_event=writer, trace=trace_path
+                )
+            except Exception as exc:  # noqa: BLE001 - one bad spec must not kill the worker
+                # Solves are deterministic, so retrying would crash the
+                # next worker too: dead-letter the task and keep draining.
+                error = f"{type(exc).__name__}: {exc}"
+                if writer is not None:
+                    writer.finish("failed", error=error)
+                queue.fail(task, error)
+                stats["failed"] += 1
+                continue
+        finally:
+            if beat is not None:
+                beat.stop()
         if writer is not None:
             # End marker *after* the store put inside solve(): a tailer
             # that sees "end" can rely on the report being fetchable.

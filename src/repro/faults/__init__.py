@@ -1,0 +1,42 @@
+"""repro.faults — deterministic fault injection for crash-safety tests.
+
+See :mod:`repro.faults.injector` for the grammar and semantics.  The
+usual import style in instrumented modules is::
+
+    from repro import faults
+    ...
+    faults.point("store.put.rename")
+    data = faults.mangle("store.put.write", data)
+"""
+
+from repro.faults.injector import (
+    CRASH_EXIT_CODE,
+    FAULTS_ENV_VAR,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    configure_faults,
+    declare_point,
+    declared_points,
+    fault_scope,
+    mangle,
+    parse_fault_spec,
+    point,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAULTS_ENV_VAR",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "active_plan",
+    "configure_faults",
+    "declare_point",
+    "declared_points",
+    "fault_scope",
+    "mangle",
+    "parse_fault_spec",
+    "point",
+]

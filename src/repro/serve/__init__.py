@@ -29,7 +29,14 @@ from repro.serve.admission import (
     AdmissionController,
     AdmissionShed,
 )
-from repro.serve.app import SERVICE_SCHEMA, RunRecord, ServeApp, ServeConfig
+from repro.serve.app import (
+    SERVICE_SCHEMA,
+    RunRecord,
+    ServeApp,
+    ServeConfig,
+    StoreUnavailable,
+)
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.relay import EventRelay, RelayWriter
 from repro.serve.routes import ServeHTTPServer, make_server
 from repro.serve.sse import (
@@ -42,6 +49,7 @@ from repro.serve.sse import (
 __all__ = [
     "AdmissionController",
     "AdmissionShed",
+    "CircuitBreaker",
     "DEFAULT_HIGH_WATER",
     "EventRelay",
     "RelayWriter",
@@ -51,6 +59,7 @@ __all__ = [
     "ServeApp",
     "ServeConfig",
     "ServeHTTPServer",
+    "StoreUnavailable",
     "format_sse",
     "make_server",
     "parse_sse_line",

@@ -22,8 +22,10 @@ wrappers and tests can parse it.
 from __future__ import annotations
 
 import argparse
+import signal
 import subprocess
 import sys
+import threading
 from typing import List, Optional
 
 from repro.serve.app import ServeApp, ServeConfig
@@ -117,6 +119,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "processes against the queue",
     )
     parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="max seconds a SIGTERM-triggered graceful drain waits for "
+        "in-flight runs before marking them failed and exiting",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log each HTTP request to stderr"
     )
     args = parser.parse_args(argv)
@@ -149,6 +158,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         file=sys.stderr,
         flush=True,
     )
+    # Graceful SIGTERM: stop admitting (503 Draining), wait for in-flight
+    # runs up to --drain-timeout, flush relay end markers, then stop the
+    # accept loop.  Runs on a helper thread because serve_forever owns
+    # the main thread and app.drain blocks.
+    drained = threading.Event()
+
+    def _drain_and_stop(signum: int, frame: object) -> None:
+        if drained.is_set():
+            return
+        drained.set()
+
+        def _worker() -> None:
+            print("SIGTERM: draining...", file=sys.stderr, flush=True)
+            try:
+                app.drain(timeout=args.drain_timeout)
+            finally:
+                server.shutdown()
+
+        threading.Thread(target=_worker, name="serve-drain", daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain_and_stop)
+    except ValueError:  # pragma: no cover - not on the main thread
+        pass
+
     try:
         server.serve_forever(poll_interval=0.2)
     except KeyboardInterrupt:

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
+from repro import faults
 from repro.api.registry import default_registry
 from repro.api.service import solve
 from repro.api.specs import ScenarioSpec
@@ -50,15 +51,27 @@ from repro.serve.admission import (
     AdmissionController,
     AdmissionShed,
 )
+from repro.serve.breaker import OPEN, CircuitBreaker
 from repro.serve.relay import EventRelay
 from repro.serve.sse import sse_frames
 from repro.store.report_store import ReportStore
 from repro.util.backoff import ExponentialBackoff
 from repro.util.errors import ConfigurationError
+from repro.util.retry import RetryPolicy
 
 SERVICE_SCHEMA = "repro.serve/v1"
 
 _TERMINAL = ("done", "failed")
+
+faults.declare_point("serve.store.lookup", "a request thread touching the store")
+
+
+class StoreUnavailable(Exception):
+    """The store circuit breaker is open (or just tripped): answer 503."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__("report store unavailable")
+        self.retry_after = max(0.1, float(retry_after))
 
 
 def _error(kind: str, message: str, **extra: Any) -> Dict[str, Any]:
@@ -90,6 +103,11 @@ class ServeConfig:
     poll_seconds: float = 0.05
     sse_timeout: float = 300.0
     default_client: str = "anonymous"
+    # Store circuit breaker: consecutive request-path store failures
+    # before submits/reports shed with 503, and how long the breaker
+    # stays open before probing again.
+    breaker_failures: int = 3
+    breaker_reset_seconds: float = 5.0
 
 
 @dataclass
@@ -156,6 +174,16 @@ class ServeApp:
             retry_after=config.retry_after,
         )
         self.registry = default_registry()
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_failures,
+            reset_seconds=config.breaker_reset_seconds,
+        )
+        self._draining = False
+        # The collector shares the tailer's stance on transient store
+        # blips: retry in place before declaring the store down.
+        self._collect_retry = RetryPolicy(
+            max_attempts=3, floor=0.05, cap=0.5, surface="serve.collect"
+        )
         self.started_at = time.time()
         # Uptime is measured on the monotonic clock: an NTP step moving
         # time.time() backwards must never yield negative uptime.
@@ -178,6 +206,27 @@ class ServeApp:
         thread.start()
         self._threads.append(thread)
 
+    def _store_contains(self, key: str) -> bool:
+        """``store.contains`` on the request path, through the breaker.
+
+        Raises :class:`StoreUnavailable` (→ 503 + Retry-After) when the
+        breaker is open or this call pushed it over the threshold —
+        shedding fast instead of stacking request threads onto failing
+        I/O.
+        """
+        if not self.breaker.allow():
+            raise StoreUnavailable(self.breaker.retry_after())
+        try:
+            faults.point("serve.store.lookup")
+            result = self.store.contains(key)
+        except OSError as exc:
+            self.breaker.record_failure()
+            raise StoreUnavailable(
+                self.breaker.retry_after() or self.config.retry_after
+            ) from exc
+        self.breaker.record_success()
+        return result
+
     # ------------------------------------------------------------------
     # HTTP-facing operations: (status_code, payload)
     # ------------------------------------------------------------------
@@ -191,6 +240,12 @@ class ServeApp:
         client at priority 0 (lower priority value = scheduled sooner).
         """
         _serve_counter("repro_serve_submits_total", "Solve submissions received").inc()
+        if self._draining:
+            return 503, _error(
+                "Draining",
+                "server is draining; resubmit elsewhere or after restart",
+                retry_after_seconds=self.config.retry_after,
+            )
         try:
             body = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -224,7 +279,15 @@ class ServeApp:
             "report": f"/v1/reports/{key}",
             "events": f"/v1/runs/{key}/events",
         }
-        if self.store.contains(key):
+        try:
+            warm = self._store_contains(key)
+        except StoreUnavailable as exc:
+            return 503, _error(
+                "StoreUnavailable",
+                "report store is unavailable; retry shortly",
+                retry_after_seconds=exc.retry_after,
+            )
+        if warm:
             # Warm key: the ticket is immediately redeemable, no solver
             # work, no admission charge.
             self.warm_submits += 1
@@ -269,10 +332,17 @@ class ServeApp:
 
     def report(self, key: str) -> Tuple[int, Dict[str, Any]]:
         """``GET /v1/reports/{key}``: the report, or where it stands."""
-        if self.store.contains(key):
-            stored = self.store.get(key)
-            if stored is not None:
-                return 200, stored.to_jsonable()
+        try:
+            if self._store_contains(key):
+                stored = self.store.get(key)
+                if stored is not None:
+                    return 200, stored.to_jsonable()
+        except StoreUnavailable as exc:
+            return 503, _error(
+                "StoreUnavailable",
+                "report store is unavailable; retry shortly",
+                retry_after_seconds=exc.retry_after,
+            )
         run = self._runs.get(key)
         if run is None:
             return 404, _error("NotFound", f"unknown canonical key {key!r}")
@@ -307,9 +377,13 @@ class ServeApp:
         ``timeout``) frame.
         """
         run = self._runs.get(key)
-        known = (
-            run is not None or self.store.contains(key) or self.relay.exists(key)
-        )
+        try:
+            in_store = self._store_contains(key)
+        except StoreUnavailable:
+            # SSE can still serve from the relay channel while the store
+            # is down; only store-derived knowledge degrades.
+            in_store = False
+        known = run is not None or in_store or self.relay.exists(key)
         if not known:
             return None
         _serve_counter(
@@ -340,6 +414,8 @@ class ServeApp:
             "service": SERVICE_SCHEMA,
             "mode": self.mode,
             "uptime_seconds": time.monotonic() - self._started_monotonic,
+            "draining": self._draining,
+            "circuit": self.breaker.snapshot(),
             "admission": self.admission.snapshot(),
             "workers": {
                 "mode": self.mode,
@@ -356,6 +432,26 @@ class ServeApp:
             payload["queue"] = self.queue.counts()
         return 200, payload
 
+    def health(self) -> Tuple[int, Dict[str, Any]]:
+        """``GET /healthz``: liveness (always) and readiness (gated).
+
+        The process answering at all is liveness.  Readiness — 200 vs
+        503 — means "send this instance traffic": it fails while the
+        server drains or while the store circuit breaker is open, so a
+        load balancer rotates the instance out exactly when submits
+        would shed anyway.
+        """
+        ready = not self._draining and self.breaker.state != OPEN
+        payload = {
+            "live": True,
+            "ready": ready,
+            "draining": self._draining,
+            "mode": self.mode,
+            "circuit": self.breaker.snapshot(),
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
+        }
+        return (200 if ready else 503), payload
+
     def endpoints(self) -> Tuple[int, Dict[str, Any]]:
         """``GET /``: a tiny self-describing index for curl users."""
         return 200, {
@@ -368,6 +464,8 @@ class ServeApp:
                 "GET /v1/runs/{key}/events": "SSE stream of live engine "
                 "telemetry (oracle/phase/congestion events, then end)",
                 "GET /v1/status": "queue depth, workers, store stats",
+                "GET /healthz": "liveness/readiness (503 while draining "
+                "or while the store circuit breaker is open)",
                 "GET /metrics": "Prometheus text exposition of the "
                 "process metrics registry (store/queue/engine/serve)",
             },
@@ -384,7 +482,12 @@ class ServeApp:
         run = self._runs.get(key)
         if run is not None and run.state in _TERMINAL:
             return True
-        return self.store.contains(key)
+        try:
+            return self.store.contains(key)
+        except OSError:
+            # The tailer keeps following the relay; the store's verdict
+            # just isn't available this round.
+            return False
 
     def _inline_loop(self) -> None:
         """Inline executor: admission queue → solve-with-relay → store."""
@@ -440,14 +543,29 @@ class ServeApp:
             failures: Optional[Dict[str, str]] = None
             done_keys: Optional[set] = None
             for key, (client, run) in watched:
-                if self.store.contains(key):
+                try:
+                    contains = self._collect_retry.call(self.store.contains, key)
+                except OSError:
+                    # Store unreachable even after retries: skip this key
+                    # for the round and let the breaker inform request
+                    # threads; the run stays watched.
+                    self.breaker.record_failure()
+                    continue
+                self.breaker.record_success()
+                if contains:
                     run.state = "done"
                 else:
                     if failures is None:
-                        failures = self.queue.failures()
+                        try:
+                            failures = self.queue.failures()
+                        except OSError:
+                            continue
                     if key not in failures:
                         if done_keys is None:
-                            done_keys = set(self.queue.done_keys())
+                            try:
+                                done_keys = set(self.queue.done_keys())
+                            except OSError:
+                                continue
                         if key in done_keys and key not in reopened:
                             # Done marker but no stored report (store pruned
                             # or quarantined): put the spec back in front of
@@ -470,6 +588,51 @@ class ServeApp:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Graceful shutdown: stop admitting, finish in-flight, flush markers.
+
+        The SIGTERM path.  New submits shed with 503 ``Draining`` the
+        moment this is called (and ``/healthz`` stops reporting ready,
+        rotating the instance out of a load balancer).  Then the
+        admission queue and active runs are given ``timeout`` seconds to
+        finish; whatever is still non-terminal afterwards is marked
+        failed and its relay channel gets an end marker, so no SSE
+        client is left hanging on a stream whose writer is about to die.
+        Finally the executor threads stop (:meth:`close`).
+        """
+        self._draining = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                watched = len(self._watched)
+            if self.admission.depth == 0 and self.admission.active == 0 and watched == 0:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            if self._stop.wait(0.05):
+                break
+        interrupted = 0
+        with self._lock:
+            leftovers = [
+                run for run in self._runs.values() if run.state not in _TERMINAL
+            ]
+            self._watched.clear()
+        for run in leftovers:
+            run.state = "failed"
+            run.error = "server draining"
+            run.finished_at = time.time()
+            try:
+                # fresh=False: append the marker to whatever the channel
+                # already holds instead of truncating a partial run.
+                self.relay.open_writer(run.key, fresh=False).finish(
+                    "failed", error="server draining"
+                )
+            except OSError:
+                pass
+            interrupted += 1
+        self.close()
+        return {"draining": True, "interrupted_runs": interrupted}
+
     def close(self, timeout: float = 2.0) -> None:
         """Stop the executor threads (daemonic, so this is best-effort)."""
         self._stop.set()

@@ -38,12 +38,17 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, Optional, Union
 
+from repro import faults
 from repro.core.engine.instrumentation import EngineEvent
 from repro.util.backoff import ExponentialBackoff
+from repro.util.retry import RetryPolicy
 from repro.util.serialization import canonical_json
 
 RELAY_SCHEMA = "RunEvents/v1"
 END_KIND = "end"
+
+faults.declare_point("relay.append", "one event line about to be appended")
+faults.declare_point("relay.tail.read", "a tailer reading new channel bytes")
 
 
 class RelayWriter:
@@ -74,7 +79,12 @@ class RelayWriter:
         """Write one event line (a single atomic ``os.write``)."""
         if self._fd is None:
             return
-        os.write(self._fd, (canonical_json(payload) + "\n").encode("utf-8"))
+        # The mangle seam simulates a writer dying mid-line: a truncated
+        # suffix with no trailing newline, which tailers must skip.
+        data = faults.mangle(
+            "relay.append", (canonical_json(payload) + "\n").encode("utf-8")
+        )
+        os.write(self._fd, data)
         self.events_written += 1
 
     def finish(self, status: str = "done", **extra: Any) -> None:
@@ -158,16 +168,30 @@ class EventRelay:
         path = self.path_for(key)
         deadline = None if timeout is None else time.monotonic() + timeout
         backoff = ExponentialBackoff(poll_seconds, cap=0.5)
+        read_retry = RetryPolicy(
+            max_attempts=3, floor=0.02, cap=0.25, surface="relay.tail"
+        )
         buffer = b""
         handle = None
         finished_since: Optional[float] = None
+
+        def _read_chunk(fh) -> bytes:
+            faults.point("relay.tail.read")
+            return fh.read()
+
         try:
             while True:
                 if handle is None and path.exists():
                     handle = path.open("rb")
                 progressed = False
                 if handle is not None:
-                    chunk = handle.read()
+                    try:
+                        chunk = read_retry.call(_read_chunk, handle)
+                    except OSError:
+                        # Still failing after retries: treat as an empty
+                        # poll — the SSE stream stays up and the next
+                        # round tries again.
+                        chunk = b""
                     if chunk:
                         buffer += chunk
                         while b"\n" in buffer:

@@ -10,14 +10,15 @@ load-bearing, not an optimisation) dispatching to the app's
 ``GET /v1/reports/K``  the stored report; 202 + run state while in flight
 ``GET /v1/runs/K/events``  SSE telemetry stream (``?timeout=SECONDS``)
 ``GET /v1/status``     admission/workers/runs/store backpressure snapshot
+``GET /healthz``       liveness/readiness (503 draining or breaker open)
 ``GET /metrics``       Prometheus text exposition of the metrics registry
 ``GET /``              endpoint index
 ====================  ==================================================
 
 Conventions: JSON bodies everywhere (errors are
 ``{"error": {"type", "message"}}``), the ``X-Client`` request header
-names the tenant for admission accounting, and 429 responses carry a
-standard ``Retry-After`` header.
+names the tenant for admission accounting, and 429/503 shed responses
+carry a standard ``Retry-After`` header.
 """
 
 from __future__ import annotations
@@ -78,6 +79,16 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         payload: Dict[str, Any],
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
+        headers = dict(headers or {})
+        if code in (429, 503) and "Retry-After" not in headers:
+            # Both shed responses (admission 429, breaker/draining 503)
+            # carry the standard header so well-behaved clients pace
+            # themselves without parsing the JSON body.
+            retry = payload.get("retry_after_seconds", 1.0)
+            try:
+                headers["Retry-After"] = str(max(1, int(math.ceil(float(retry)))))
+            except (TypeError, ValueError):
+                headers["Retry-After"] = "1"
         body = json.dumps(payload, sort_keys=True, indent=2).encode("utf-8") + b"\n"
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
@@ -111,6 +122,9 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         if path == "/v1/status":
             code, payload = self.app.status()
             return self._send_json(code, payload)
+        if path == "/healthz":
+            code, payload = self.app.health()
+            return self._send_json(code, payload)
         if path == "/metrics":
             return self._send_metrics()
         match = _REPORT_PATH.match(path)
@@ -132,11 +146,8 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
             return self._send_error_json(400, "InvalidRequest", "bad Content-Length")
         raw = self.rfile.read(length) if length > 0 else b""
         code, payload = self.app.submit(raw, client=self.headers.get("X-Client"))
-        headers: Dict[str, str] = {}
-        if code == 429:
-            retry = payload.get("retry_after_seconds", 1.0)
-            headers["Retry-After"] = str(max(1, int(math.ceil(float(retry)))))
-        self._send_json(code, payload, headers)
+        # Retry-After for 429/503 is attached centrally in _send_json.
+        self._send_json(code, payload)
 
     # ------------------------------------------------------------------
     # SSE

@@ -43,8 +43,10 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
+from repro import faults
 from repro.obs import metrics as obs_metrics
 from repro.util.errors import ConfigurationError, ReproError
+from repro.util.retry import DEFAULT_NON_RETRYABLE, RetryPolicy
 from repro.util.serialization import atomic_write_bytes, canonical_json, read_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service imports us)
@@ -55,6 +57,15 @@ ENTRY_SCHEMA = "ReportStoreEntry/v1"
 INDEX_SCHEMA = "ReportStoreIndex/v1"
 
 StoreLike = Union[None, str, Path, "ReportStore"]
+
+# Crash seams the fault-injection sweep enumerates (see repro.faults).
+# store.put.{write,rename,publish} are derived inside atomic_write_bytes
+# from the fault_point passed by put().
+faults.declare_point("store.put.write", "payload bytes of a report put")
+faults.declare_point("store.put.rename", "before the put's atomic rename")
+faults.declare_point("store.put.publish", "after the rename, before the index append")
+faults.declare_point("store.put.index", "before the advisory index append")
+faults.declare_point("store.get.read", "reading an entry's bytes")
 
 
 def _canonical_bytes(data: Any) -> bytes:
@@ -82,6 +93,10 @@ class ReportStore:
         may hold a mix of plain and gzipped entries.
     memory_entries:
         Capacity of the in-memory LRU front (0 disables it).
+    durable:
+        fsync puts (temp file + parent directory around the rename) so a
+        published entry survives power loss, not just process death.
+        Default on; turn off for throwaway stores in tight loops.
     """
 
     def __init__(
@@ -89,9 +104,11 @@ class ReportStore:
         root: Union[str, Path],
         compress: bool = False,
         memory_entries: int = 128,
+        durable: bool = True,
     ) -> None:
         self.root = Path(root)
         self.compress = bool(compress)
+        self.durable = bool(durable)
         if memory_entries < 0:
             raise ConfigurationError(
                 f"memory_entries must be >= 0, got {memory_entries}"
@@ -106,6 +123,17 @@ class ReportStore:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        # Transient read blips (NFS hiccups, injected OSErrors) are
+        # retried before an entry is declared missing; corruption is a
+        # *verification* verdict, never an I/O one, so a flaky read can
+        # no longer delete good data (see _load_entry).
+        self._read_retry = RetryPolicy(
+            max_attempts=3,
+            floor=0.02,
+            cap=0.25,
+            surface="store.get",
+            non_retryable=DEFAULT_NON_RETRYABLE + (gzip.BadGzipFile,),
+        )
 
     # ------------------------------------------------------------------
     # paths
@@ -160,7 +188,13 @@ class ReportStore:
             }
         )
         data = gzip.compress(envelope) if self.compress else envelope
-        path = atomic_write_bytes(self._object_path(key, self.compress), data)
+        path = atomic_write_bytes(
+            self._object_path(key, self.compress),
+            data,
+            durable=self.durable,
+            fault_point="store.put",
+        )
+        faults.point("store.put.index")
         self._append_index(key, path, len(data))
         self._remember(key, report)
         reg = obs_metrics.registry()
@@ -202,11 +236,30 @@ class ReportStore:
         self._remember(key, report)
         return report
 
+    def _read_entry(self, path: Path) -> bytes:
+        faults.point("store.get.read")
+        return read_bytes(path)
+
     def _load_entry(self, key: str, path: Path) -> Optional["SolveReport"]:
         from repro.api.service import SolveReport
 
         try:
-            envelope = json.loads(read_bytes(path).decode("utf-8"))
+            raw = self._read_retry.call(self._read_entry, path)
+        except FileNotFoundError:
+            # Raced with prune/quarantine in another process: plain miss.
+            return None
+        except (gzip.BadGzipFile, EOFError):
+            # Truncated or garbled gzip stream — the bytes themselves are
+            # bad, so this is corruption, not a flaky read.
+            return self._condemn(path)
+        except OSError:
+            # A transient read failure that outlived its retries.  The
+            # entry may be perfectly fine — deleting it would turn an
+            # I/O blip into data loss — so degrade to a miss and leave
+            # the file for the next reader.
+            return None
+        try:
+            envelope = json.loads(raw.decode("utf-8"))
             if (
                 envelope.get("schema") != ENTRY_SCHEMA
                 or envelope.get("key") != key
@@ -217,19 +270,23 @@ class ReportStore:
             if digest != envelope.get("sha256"):
                 raise ValueError("entry digest mismatch")
             return SolveReport.from_jsonable(report_payload)
-        except (OSError, ValueError, KeyError, TypeError, EOFError, ReproError):
+        except (ValueError, KeyError, TypeError, ReproError):
             # ReproError covers reconstruction failures from the repo's
             # own layers (schema mismatch, invalid spec/session data) —
             # every flavour of bad entry must degrade to a miss, never
             # propagate to callers that promised to fall back to a solve.
-            with self._lock:
-                self.corrupt += 1
-            obs_metrics.registry().counter(
-                "repro_store_quarantines_total",
-                "Corrupt entries quarantined on read",
-            ).inc()
-            self._quarantine(path)
-            return None
+            return self._condemn(path)
+
+    def _condemn(self, path: Path) -> None:
+        """Count and quarantine a verified-corrupt entry; returns None."""
+        with self._lock:
+            self.corrupt += 1
+        obs_metrics.registry().counter(
+            "repro_store_quarantines_total",
+            "Corrupt entries quarantined on read",
+        ).inc()
+        self._quarantine(path)
+        return None
 
     def _quarantine(self, path: Path) -> None:
         try:

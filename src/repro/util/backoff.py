@@ -15,6 +15,7 @@ stretch.
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Optional
 
@@ -37,10 +38,27 @@ class ExponentialBackoff:
         cap degrades to fixed-interval polling rather than shrinking.
     factor:
         Growth multiplier per consecutive empty poll.
+    jitter:
+        Off by default (the historical deterministic ladder).  When on,
+        each delay is *decorrelated jitter* — drawn uniformly from
+        ``[floor, previous * factor]`` and capped — which de-synchronises
+        fleets of retrying workers that would otherwise hammer a
+        recovering store in lockstep.  Every delay still lies in
+        ``[floor, cap]``, and :meth:`reset` restores the floor as the
+        correlation state exactly as in the deterministic mode.
+    rng:
+        RNG for the jitter draws (a ``random.Random``); seed one for
+        reproducible schedules.  A private instance is created when
+        omitted.
     """
 
     def __init__(
-        self, floor: float, cap: Optional[float] = None, factor: float = 2.0
+        self,
+        floor: float,
+        cap: Optional[float] = None,
+        factor: float = 2.0,
+        jitter: bool = False,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if floor <= 0:
             raise ConfigurationError(f"backoff floor must be positive, got {floor}")
@@ -51,16 +69,30 @@ class ExponentialBackoff:
             self.floor, DEFAULT_CAP_SECONDS
         )
         self.factor = float(factor)
+        self.jitter = bool(jitter)
+        self._rng = rng if rng is not None else random.Random()
         self._delay = self.floor
 
     def next_delay(self) -> float:
         """The delay to sleep now; grows the next one (capped)."""
+        if self.jitter:
+            delay = min(
+                self.cap,
+                self._rng.uniform(self.floor, max(self.floor, self._delay * self.factor)),
+            )
+            self._delay = delay
+            return delay
         delay = self._delay
         self._delay = min(self._delay * self.factor, self.cap)
         return delay
 
     def peek(self) -> float:
-        """The delay :meth:`next_delay` would return, without advancing."""
+        """The delay :meth:`next_delay` would return, without advancing.
+
+        Under ``jitter`` the next delay is random; ``peek`` then reports
+        the correlation state (the previous draw, or the floor right
+        after a reset) rather than a prediction.
+        """
         return self._delay
 
     def reset(self) -> None:

@@ -19,9 +19,11 @@ import os
 import secrets
 import typing
 from pathlib import Path
-from typing import Any, Type, TypeVar, Union
+from typing import Any, Optional, Type, TypeVar, Union
 
 import numpy as np
+
+from repro import faults
 
 GZIP_MAGIC = b"\x1f\x8b"
 
@@ -186,15 +188,53 @@ def _coerce_key(key_tp: Any, key: str) -> Any:
     return key
 
 
-def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+def fsync_directory(path: Union[str, Path]) -> None:
+    """fsync a directory so a rename into it survives power loss.
+
+    POSIX renames are atomic with respect to *readers* immediately, but
+    the directory entry itself is only durable once the directory is
+    fsynced.  Failures are swallowed: some filesystems refuse to open
+    directories, and losing durability there is no worse than before.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: Union[str, Path],
+    data: bytes,
+    durable: bool = False,
+    fault_point: Optional[str] = None,
+) -> Path:
     """Write ``data`` to ``path`` atomically (tmp file in-dir + rename).
 
     ``os.replace`` is atomic on POSIX, so readers see either the old
     content or the new content, never a torn mix — and two concurrent
     writers of the same path each land a complete file (last one wins).
+
+    ``durable=True`` additionally fdatasyncs the temp file before the
+    rename and fsyncs the parent directory after it, upgrading the
+    guarantee from crash-of-the-process to power-loss: a published file
+    is on stable storage with its full content.
+
+    ``fault_point`` names this write for :mod:`repro.faults`: the
+    payload crosses ``{fault_point}.write`` (truncatable), the rename is
+    preceded by ``{fault_point}.rename`` and followed by
+    ``{fault_point}.publish`` — the three places a crash leaves
+    observably different on-disk states.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    if fault_point is not None:
+        data = faults.mangle(f"{fault_point}.write", data)
     # Not mkstemp: its hardwired 0600 mode would make published store
     # entries and queue tasks unreadable to cooperating processes under
     # other users.  Creating with mode 0666 lets the kernel apply the
@@ -204,6 +244,13 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
     try:
         with os.fdopen(fd, "wb") as fh:
             fh.write(data)
+            if durable:
+                fh.flush()
+                # fdatasync skips the metadata flush fsync forces; the
+                # rename + directory fsync below publish the metadata.
+                getattr(os, "fdatasync", os.fsync)(fh.fileno())
+        if fault_point is not None:
+            faults.point(f"{fault_point}.rename")
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -211,6 +258,10 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
         except OSError:
             pass
         raise
+    if durable:
+        fsync_directory(path.parent)
+    if fault_point is not None:
+        faults.point(f"{fault_point}.publish")
     return path
 
 

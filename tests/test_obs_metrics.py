@@ -391,3 +391,63 @@ def test_report_store_concurrent_hits_and_misses_are_exact(tmp_path):
 
 def test_default_latency_buckets_are_sorted():
     assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+# ----------------------------------------------------------------------
+# fault-tolerance metric families on the exposition (PR 10 satellite)
+# ----------------------------------------------------------------------
+def test_fault_tolerance_families_reach_the_exposition(tmp_path):
+    """Retry, lease, attempts, breaker and fault-point metrics all render.
+
+    One pass of real activity per surface, then the Prometheus text must
+    carry every family the fault-injection harness added — the same
+    names the CI observability smoke greps on /metrics.
+    """
+    from repro import faults
+    from repro.serve.breaker import CircuitBreaker
+    from repro.util.retry import RetryPolicy
+
+    # repro_retry_total{surface,outcome}: one recovered retry.
+    blips = iter([OSError("blip")])
+    policy = RetryPolicy(
+        max_attempts=2, floor=0.001, cap=0.002, surface="obs-smoke",
+        sleep=lambda _s: None,
+    )
+
+    def flaky() -> str:
+        try:
+            raise next(blips)
+        except StopIteration:
+            return "ok"
+
+    assert policy.call(flaky) == "ok"
+
+    # repro_lease_renewals_total + repro_task_attempts: one claim whose
+    # lease is renewed, then completed.
+    queue = WorkQueue(tmp_path / "queue", lease_seconds=60.0, durable=False)
+    queue.submit([small_spec(seed=81)])
+    task = queue.claim("obs-smoke")
+    assert task is not None
+    assert queue.renew(task)
+    queue.complete(task)
+
+    # repro_serve_circuit_open: registered (closed = 0) at construction.
+    CircuitBreaker(failure_threshold=3, reset_seconds=5.0)
+
+    # repro_fault_point_hits_total / repro_fault_injections_total: one
+    # armed crossing (delay of ~0s keeps the test instant).
+    with faults.fault_scope("obs.smoke:delay=0"):
+        faults.point("obs.smoke")
+
+    text = registry().render_prometheus()
+    for family in (
+        "repro_retry_total",
+        "repro_lease_renewals_total",
+        "repro_task_attempts_bucket",
+        "repro_serve_circuit_open",
+        "repro_fault_point_hits_total",
+        "repro_fault_injections_total",
+    ):
+        assert family in text, f"{family} missing from exposition:\n{text}"
+    assert 'surface="obs-smoke"' in text
+    assert 'outcome="recovered"' in text

@@ -155,6 +155,23 @@ def test_write_core_perf_record_tiny(tmp_path):
     assert obs["traced_span_events"] >= obs["traced_step_spans"]
     assert obs["outputs_identical_with_trace"]
 
+    # Durability cost: the bare-put arm records the raw fsync price, the
+    # solve-and-persist cycle carries the <10% design guard (solving
+    # dominates the realistic path, as it does for cluster workers), and
+    # the disabled fault-point arm pins the zero-overhead claim for the
+    # injection seams left in hot I/O paths.
+    durability = record["durability"]
+    assert durability["puts"] > 0
+    assert durability["durable_us_per_put"] > 0
+    assert durability["volatile_us_per_put"] > 0
+    cycle = durability["solve_persist"]
+    assert cycle["durable_seconds"] > 0
+    assert cycle["volatile_seconds"] > 0
+    assert cycle["overhead_pct"] < 10.0, durability
+    fault_point = durability["fault_point"]
+    assert fault_point["calls"] > 0
+    assert 0 < fault_point["disabled_ns_per_call"] < 1500.0, fault_point
+
     latest = record["history"][-1]
     assert latest["ledger_kernel_backend"] == ledger_kernel["backend"]
     assert latest["ledger_kernel_round_speedup"] == (
@@ -179,6 +196,9 @@ def test_write_core_perf_record_tiny(tmp_path):
     assert latest["engine_step_stacked_speedup"] == engine_step["stacked_speedup"]
     assert latest["obs_metrics_overhead_pct"] == obs["metrics_overhead_pct"]
     assert latest["obs_trace_overhead_pct"] == obs["trace_overhead_pct"]
+    assert latest["durable_put_overhead_pct"] == durability["put_overhead_pct"]
+    assert latest["durable_solve_persist_overhead_pct"] == cycle["overhead_pct"]
+    assert latest["fault_point_disabled_ns"] == fault_point["disabled_ns_per_call"]
 
 
 def test_record_appends_history(tmp_path):
@@ -359,6 +379,44 @@ def test_record_migrates_v7_history(tmp_path):
     assert latest["ledger_kernel_backend"] == record["ledger_kernel"]["backend"]
     assert latest["ledger_kernel_round_speedup"] == (
         record["ledger_kernel"]["round_lengths"]["compiled_speedup"]
+    )
+
+
+def test_record_migrates_v8_history(tmp_path):
+    # A v8 record's trajectory (pre-durability) survives the v9 write
+    # verbatim, with the new (durability-bearing) entry appended.
+    path = tmp_path / "BENCH_core.json"
+    v8_history = [
+        {"schema": "BENCH_core/v7", "scale": "quick", "fixed_calls_per_sec": 13.0},
+        {
+            "schema": "BENCH_core/v8",
+            "scale": "quick",
+            "fixed_calls_per_sec": 14.0,
+            "ledger_kernel_backend": "ordered",
+            "ledger_kernel_round_speedup": 1.4,
+        },
+    ]
+    v8 = {
+        "schema": "BENCH_core/v8",
+        "scale": "quick",
+        "maxflow_fixed": {"memoized": {"calls_per_sec": 14.0}},
+        "maxflow_dynamic": {"memoized": {"calls_per_sec": 950.0}},
+        "ledger_kernel": {"backend": "ordered"},
+        "history": v8_history,
+    }
+    path.write_text(json.dumps(v8))
+    write_core_perf_record(path, scale="tiny")
+    record = json.loads(path.read_text())
+    assert record["schema"] == BENCH_SCHEMA
+    assert record["history"][:2] == v8_history
+    assert len(record["history"]) == 3
+    latest = record["history"][-1]
+    assert latest["schema"] == BENCH_SCHEMA
+    assert latest["durable_solve_persist_overhead_pct"] == (
+        record["durability"]["solve_persist"]["overhead_pct"]
+    )
+    assert latest["fault_point_disabled_ns"] == (
+        record["durability"]["fault_point"]["disabled_ns_per_call"]
     )
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import threading
 import time
 import urllib.error
@@ -28,9 +29,11 @@ from repro.cluster.async_api import as_reports_completed
 from repro.cluster.queue import WorkQueue
 from repro.cluster.worker import run_worker
 from repro.core.engine.instrumentation import Instrumentation, event_tap
+from repro.faults import fault_scope
 from repro.serve import (
     AdmissionController,
     AdmissionShed,
+    CircuitBreaker,
     EventRelay,
     ServeApp,
     ServeConfig,
@@ -105,6 +108,45 @@ class TestExponentialBackoff:
             ExponentialBackoff(0.0)
         with pytest.raises(ConfigurationError):
             ExponentialBackoff(0.1, factor=0.5)
+
+    def test_jitter_default_off_preserves_ladder(self):
+        backoff = ExponentialBackoff(0.1, cap=0.5)
+        assert backoff.jitter is False
+        assert [backoff.next_delay() for _ in range(4)] == [0.1, 0.2, 0.4, 0.5]
+
+    def test_jitter_delays_stay_inside_the_envelope(self):
+        # Decorrelated jitter: every delay lies in [floor, cap] AND below
+        # previous * factor (the decorrelation bound).
+        backoff = ExponentialBackoff(
+            0.1, cap=2.0, factor=3.0, jitter=True, rng=random.Random(42)
+        )
+        previous = 0.1
+        for _ in range(100):
+            delay = backoff.next_delay()
+            assert 0.1 <= delay <= 2.0
+            assert delay <= max(0.1, previous * 3.0) + 1e-12
+            previous = delay
+
+    def test_jitter_reset_restores_floor_correlation(self):
+        backoff = ExponentialBackoff(
+            0.5, cap=60.0, jitter=True, rng=random.Random(7)
+        )
+        for _ in range(20):
+            backoff.next_delay()
+        backoff.reset()
+        assert backoff.peek() == 0.5
+        # Right after a reset the draw envelope is [floor, floor*factor].
+        assert 0.5 <= backoff.next_delay() <= 1.0
+
+    def test_jitter_is_deterministic_under_a_seeded_rng(self):
+        schedules = []
+        for _ in range(2):
+            backoff = ExponentialBackoff(
+                0.1, cap=5.0, jitter=True, rng=random.Random(99)
+            )
+            schedules.append([backoff.next_delay() for _ in range(16)])
+        assert schedules[0] == schedules[1]
+        assert len(set(schedules[0])) > 1  # it does actually jitter
 
 
 # ----------------------------------------------------------------------
@@ -195,6 +237,35 @@ class TestEventRelay:
         end = relay.events("k5")[-1]
         assert end["kind"] == "end" and end["status"] == "failed"
         assert "boom" in end["error"]
+
+    def test_tail_recovers_from_writer_dead_mid_event(self, tmp_path):
+        # Crash-recovery contract: a writer that dies mid-append leaves a
+        # torn, newline-less suffix on the channel.  A follower must (a)
+        # never surface that partial line as an event and (b) still get a
+        # terminal marker — synthesized once the run is known finished.
+        relay = EventRelay(tmp_path)
+        writer = relay.open_writer("k6")
+        writer.append({"kind": "oracle", "step": 1, "queries": 4.0})
+        with fault_scope("relay.append:truncate=0.4"):
+            writer.append({"kind": "congestion", "step": 2, "max_congestion": 9.9})
+        writer.close()  # died before finish(): no end marker
+        raw = relay.path_for("k6").read_bytes()
+        assert not raw.endswith(b"\n")  # the torn suffix really is there
+        seen = list(
+            relay.tail("k6", timeout=5.0, finished=lambda: True, grace_seconds=0.1)
+        )
+        assert [e["kind"] for e in seen] == ["oracle", "end"]
+        assert seen[-1].get("synthetic") is True
+        assert all(e.get("max_congestion") != 9.9 for e in seen)
+
+    def test_tail_survives_transient_read_faults(self, tmp_path):
+        relay = EventRelay(tmp_path)
+        with relay.open_writer("k7") as writer:
+            writer.append({"kind": "oracle", "step": 1})
+            writer.finish("done")
+        with fault_scope("relay.tail.read:raisex2"):
+            seen = list(relay.tail("k7", timeout=5.0))
+        assert [e["kind"] for e in seen] == ["oracle", "end"]
 
 
 # ----------------------------------------------------------------------
@@ -405,6 +476,143 @@ class TestServeHTTP:
         assert second["deduplicated"] is True
         assert app.admission.depth == 1
         app.close()
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation: circuit breaker, /healthz, draining shutdown
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_half_open_probe(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=2, reset_seconds=5.0, clock=lambda: clock[0]
+        )
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.retry_after() == pytest.approx(5.0)
+        clock[0] = 3.0
+        assert breaker.retry_after() == pytest.approx(2.0)
+        clock[0] = 5.0
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # exactly one probe
+        assert not breaker.allow()
+        breaker.record_failure()  # probe failed: full cool-down again
+        assert breaker.state == "open"
+        clock[0] = 10.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() and breaker.allow()  # no probe rationing
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # streak broken, never 3 in a row
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(reset_seconds=0.0)
+
+
+class TestServeDegradation:
+    def test_store_failure_sheds_503_with_retry_after(self, tmp_path):
+        app = ServeApp(
+            ServeConfig(
+                store=tmp_path / "store",
+                inline_workers=0,
+                breaker_failures=1,
+                breaker_reset_seconds=60.0,
+            )
+        )
+        try:
+            body = json.dumps(small_spec().to_jsonable()).encode()
+            with fault_scope("serve.store.lookup:raise"):
+                code, payload = app.submit(body)
+            assert code == 503
+            assert payload["error"]["type"] == "StoreUnavailable"
+            assert payload["retry_after_seconds"] > 0
+            # The breaker is now open: requests shed fast, without
+            # touching the store at all (no fault plan armed here).
+            code, payload = app.submit(body)
+            assert code == 503
+            code, payload = app.report(small_spec().canonical_key)
+            assert code == 503
+            # Readiness mirrors the breaker; liveness does not.
+            code, payload = app.health()
+            assert code == 503
+            assert payload["live"] is True and payload["ready"] is False
+            assert payload["circuit"]["state"] == "open"
+            assert app.status()[1]["circuit"]["state"] == "open"
+            # Recovery closes the breaker and readiness returns.
+            app.breaker.record_success()
+            code, payload = app.health()
+            assert code == 200 and payload["ready"] is True
+            code, _ = app.submit(body)
+            assert code == 202
+        finally:
+            app.close()
+
+    def test_healthz_route_and_retry_after_header(self, http_server):
+        app, base = http_server
+        code, payload = http_get(f"{base}/healthz")
+        assert code == 200
+        assert payload["live"] is True and payload["ready"] is True
+        # Force not-ready and check the HTTP surface: 503 + Retry-After.
+        app._draining = True
+        try:
+            req = urllib.request.Request(f"{base}/healthz")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(req)
+            assert excinfo.value.code == 503
+            assert int(excinfo.value.headers["Retry-After"]) >= 1
+        finally:
+            app._draining = False
+
+    def test_drain_sheds_submits_and_flushes_markers(self, tmp_path):
+        app = ServeApp(
+            ServeConfig(store=tmp_path / "store", inline_workers=0, high_water=4)
+        )
+        code, ticket = app.submit(json.dumps(small_spec().to_jsonable()).encode())
+        assert code == 202
+        result = app.drain(timeout=0.2)
+        assert result == {"draining": True, "interrupted_runs": 1}
+        # New work is shed the moment draining starts.
+        code, payload = app.submit(
+            json.dumps(small_spec(seed=7).to_jsonable()).encode()
+        )
+        assert code == 503
+        assert payload["error"]["type"] == "Draining"
+        # The interrupted run is terminal and its SSE channel got a
+        # terminal marker — no client is left hanging.
+        code, payload = app.report(ticket["key"])
+        assert code == 500
+        assert payload["error"]["type"] == "SolveFailed"
+        end = app.relay.events(ticket["key"])[-1]
+        assert end["kind"] == "end" and end["status"] == "failed"
+        assert "draining" in end["error"]
+
+    def test_drain_waits_for_inflight_work(self, tmp_path):
+        app = ServeApp(ServeConfig(store=tmp_path / "store", poll_seconds=0.01))
+        try:
+            code, ticket = app.submit(
+                json.dumps(small_spec(seed=401).to_jsonable()).encode()
+            )
+            assert code == 202
+            result = app.drain(timeout=30.0)
+            assert result["interrupted_runs"] == 0
+            assert app.store.contains(ticket["key"])
+        finally:
+            app.close()
 
 
 # ----------------------------------------------------------------------
